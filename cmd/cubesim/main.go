@@ -1,0 +1,103 @@
+// Command cubesim runs one of the paper's evaluation workloads against
+// a simulated SSD under a chosen FTL and reports throughput, latency
+// percentiles, and PS-aware decision counters.
+//
+// Usage:
+//
+//	cubesim -ftl cube -workload OLTP -requests 20000
+//	cubesim -ftl page -workload Rocks -pe 2000 -retention 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cubeftl"
+)
+
+func main() {
+	ftlName := flag.String("ftl", cubeftl.FTLCube, "FTL flavor: page, vert, cube, cube-")
+	wl := flag.String("workload", "OLTP", "workload: "+strings.Join(cubeftl.Workloads(), ", "))
+	requests := flag.Int("requests", 20000, "host requests to complete")
+	qd := flag.Int("qd", 24, "host queue depth")
+	blocks := flag.Int("blocks", 32, "blocks per chip (428 = paper's full chip)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	pe := flag.Int("pe", 0, "pre-aged P/E cycles (paper: 0 or 2000)")
+	retention := flag.Float64("retention", 0, "pinned retention age in months (paper: 0, 1 or 12)")
+	prefill := flag.Bool("prefill", true, "prefill the workload footprint before measuring")
+	tracePath := flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload")
+	record := flag.String("record", "", "record the workload to a trace file and exit")
+	flag.Parse()
+
+	opts := cubeftl.Options{
+		FTL:             *ftlName,
+		BlocksPerChip:   *blocks,
+		Seed:            *seed,
+		PECycles:        *pe,
+		RetentionMonths: *retention,
+	}
+	dev, err := cubeftl.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := cubeftl.RecordTrace(f, *wl, dev.LogicalPages(), *requests, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d %s requests to %s\n", *requests, *wl, *record)
+		return
+	}
+	fmt.Printf("device: %s, %.1f GiB logical, seed %d, aging {P/E %d, %v months}\n",
+		dev.FTLName(), float64(dev.CapacityBytes())/(1<<30), *seed, *pe, *retention)
+
+	if *prefill {
+		n := int64(dev.LogicalPages()) * 6 / 10
+		fmt.Printf("prefilling %d pages...\n", n)
+		dev.Prefill(n)
+		dev.ResetStats()
+	}
+
+	var st cubeftl.RunStats
+	label := *wl
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st, err = dev.RunTrace(f, *tracePath, *requests, *qd)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		label = *tracePath
+	} else {
+		st, err = dev.RunWorkload(*wl, *requests, *qd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("\n%s on %s: %d requests in %v simulated\n", label, dev.FTLName(), st.Requests, st.Elapsed)
+	fmt.Printf("  IOPS        %.0f\n", st.IOPS)
+	fmt.Printf("  read  p50/p90/p99   %v / %v / %v\n", st.ReadP50, st.ReadP90, st.ReadP99)
+	fmt.Printf("  write p50/p90/p99   %v / %v / %v\n", st.WriteP50, st.WriteP90, st.WriteP99)
+	fmt.Printf("  mean tPROG  %v\n", st.MeanTPROG)
+	fmt.Printf("  read retries %d, GC runs %d, reprograms %d, buffer hits %d\n",
+		st.ReadRetries, st.GCRuns, st.Reprograms, st.BufferHits)
+	if cs := dev.Cube(); cs.LeaderPrograms+cs.FollowerPrograms > 0 {
+		fmt.Printf("  PS-aware: %d leaders, %d followers, %d safety rejects, ORT %d hits / %d misses (%d bytes)\n",
+			cs.LeaderPrograms, cs.FollowerPrograms, cs.SafetyRejects, cs.ORTHits, cs.ORTMisses, cs.ORTBytes)
+	}
+}

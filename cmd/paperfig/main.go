@@ -1,0 +1,61 @@
+// Command paperfig regenerates the data figures of "Exploiting Process
+// Similarity of 3D Flash Memory for High Performance SSDs" (MICRO-52,
+// 2019) on the simulated chips and SSD and prints the same rows/series
+// the paper reports.
+//
+// Usage:
+//
+//	paperfig [-seed N] all          # every figure, paper order
+//	paperfig [-seed N] fig17a fig18 # specific figures
+//	paperfig -list                  # available figure ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cubeftl"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "root random seed (runs are deterministic per seed)")
+	list := flag.Bool("list", false, "list available figure ids and exit")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: paperfig [-seed N] all|<figure-id>...\navailable: %s\n",
+			strings.Join(cubeftl.FigureIDs(), " "))
+	}
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(cubeftl.FigureIDs(), "\n"))
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = cubeftl.FigureIDs()
+	}
+	for _, id := range args {
+		start := time.Now()
+		var err error
+		if *asJSON {
+			err = cubeftl.ReproduceFigureJSON(id, *seed, os.Stdout)
+		} else {
+			err = cubeftl.ReproduceFigure(id, *seed, os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*asJSON {
+			fmt.Printf("  [%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

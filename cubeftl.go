@@ -1,0 +1,295 @@
+// Package cubeftl is a full-system reproduction of "Exploiting Process
+// Similarity of 3D Flash Memory for High Performance SSDs" (Shim et al.,
+// MICRO-52, 2019).
+//
+// It provides, from the bottom up:
+//
+//   - a statistical process model of 3D TLC NAND (inter-layer
+//     variability, intra-layer similarity, aging),
+//   - a micro-operation-level NAND chip simulator (ISPP program loops,
+//     verify accounting, read-retry ladders, erase, wear),
+//   - a discrete-event SSD (buses, chips, write buffer, GC),
+//   - five FTLs: the PS-unaware pageFTL, vertFTL (Hung et al.) and
+//     ispFTL (Pan et al.) baselines, and the paper's PS-aware cubeFTL
+//     (OPM + WAM + MOS + safety check) plus its cubeFTL- ablation,
+//   - the paper's six evaluation workloads, and
+//   - runners that regenerate every data figure of the paper.
+//
+// This file is the public facade: build a simulated SSD, drive it with
+// host I/O or one of the named workloads, and read back measurements.
+// Everything here wraps the richer packages under internal/.
+package cubeftl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cubeftl/internal/core"
+	"cubeftl/internal/ftl"
+	"cubeftl/internal/sim"
+	"cubeftl/internal/ssd"
+	"cubeftl/internal/workload"
+)
+
+// FTL names accepted by Options.FTL.
+const (
+	FTLPage      = "page"  // PS-unaware page-mapping baseline
+	FTLVert      = "vert"  // static V_Final reduction (Hung et al. [13])
+	FTLIsp       = "isp"   // wear-keyed ISPP-step scaling (Pan et al. [31])
+	FTLCube      = "cube"  // the paper's PS-aware cubeFTL
+	FTLCubeMinus = "cube-" // cubeFTL with the WAM disabled (§6.3)
+)
+
+// Options configures a simulated SSD. The zero value selects the
+// paper's configuration scaled to a small device; call DefaultOptions
+// for the full 32 GB evaluation target.
+type Options struct {
+	FTL string // one of FTLPage, FTLVert, FTLCube, FTLCubeMinus
+
+	Buses         int // default 2
+	ChipsPerBus   int // default 4
+	BlocksPerChip int // default 64 (paper's chips have 428)
+	PlanesPerChip int // default 1 (the paper's model); 2+ overlaps ops within a die
+	Seed          uint64
+
+	WriteBufferPages int // default 192
+
+	// Pre-aging (paper §6.2): wear and pinned retention for all reads.
+	PECycles        int
+	RetentionMonths float64
+
+	// SuspendOps enables program/erase suspend-resume so reads
+	// interleave with long chip operations (§8 extension).
+	SuspendOps bool
+	// WearAware spreads P/E cycles by allocating the least-worn erased
+	// block (static wear leveling).
+	WearAware bool
+	// VerifyData turns on the end-to-end integrity oracle: tagged
+	// payloads flow through flush, GC, and read-back verification, and
+	// RunStats.DataMismatches reports violations (always zero for a
+	// correct FTL). Costs memory; intended for testing.
+	VerifyData bool
+}
+
+// DefaultOptions returns the paper's full evaluation device (2 buses x
+// 4 chips x 428 blocks ~= 31.5 GB) running cubeFTL.
+func DefaultOptions() Options {
+	return Options{
+		FTL:           FTLCube,
+		Buses:         2,
+		ChipsPerBus:   4,
+		BlocksPerChip: 428,
+		Seed:          1,
+	}
+}
+
+// SSD is a simulated 3D-NAND solid-state drive with one of the paper's
+// FTLs. It is not safe for concurrent use: the simulation is a single
+// deterministic event loop.
+type SSD struct {
+	eng  *sim.Engine
+	dev  *ssd.Device
+	ctrl *ftl.Controller
+	cube *core.CubeFTL // non-nil for cube flavors
+}
+
+// New builds a simulated SSD.
+func New(opts Options) (*SSD, error) {
+	if opts.Buses <= 0 {
+		opts.Buses = 2
+	}
+	if opts.ChipsPerBus <= 0 {
+		opts.ChipsPerBus = 4
+	}
+	if opts.BlocksPerChip <= 0 {
+		opts.BlocksPerChip = 64
+	}
+	if opts.FTL == "" {
+		opts.FTL = FTLCube
+	}
+	eng := sim.NewEngine()
+	devCfg := ssd.DefaultConfig()
+	devCfg.Buses = opts.Buses
+	devCfg.ChipsPerBus = opts.ChipsPerBus
+	devCfg.Chip.Process.BlocksPerChip = opts.BlocksPerChip
+	devCfg.Seed = opts.Seed
+	devCfg.SuspendOps = opts.SuspendOps
+	devCfg.PlanesPerChip = opts.PlanesPerChip
+	devCfg.Chip.StoreData = opts.VerifyData
+	dev := ssd.New(eng, devCfg)
+	if opts.PECycles > 0 || opts.RetentionMonths > 0 {
+		dev.PreAge(opts.PECycles, opts.RetentionMonths)
+		dev.SetReadJitterProb(0.5)
+	}
+
+	var pol ftl.Policy
+	var cube *core.CubeFTL
+	switch opts.FTL {
+	case FTLPage:
+		pol = ftl.NewPagePolicy()
+	case FTLVert:
+		pol = ftl.NewVertPolicy()
+	case FTLIsp:
+		pol = ftl.NewIspPolicy(func(chip, block int) int {
+			return dev.Chip(chip).NAND.PECycles(block)
+		})
+	case FTLCube:
+		cube = core.New(dev.Geometry())
+		pol = cube
+	case FTLCubeMinus:
+		cube = core.NewMinus(dev.Geometry())
+		pol = cube
+	default:
+		return nil, fmt.Errorf("cubeftl: unknown FTL %q", opts.FTL)
+	}
+	ctrlCfg := ftl.DefaultControllerConfig()
+	if opts.WriteBufferPages > 0 {
+		ctrlCfg.WriteBufferPages = opts.WriteBufferPages
+	}
+	ctrlCfg.WearAware = opts.WearAware
+	ctrlCfg.VerifyData = opts.VerifyData
+	return &SSD{eng: eng, dev: dev, ctrl: ftl.NewController(dev, pol, ctrlCfg), cube: cube}, nil
+}
+
+// FTLName returns the active FTL's name.
+func (s *SSD) FTLName() string { return s.ctrl.Policy().Name() }
+
+// LogicalPages returns the exported capacity in 16 KB pages.
+func (s *SSD) LogicalPages() int { return s.ctrl.LogicalPages() }
+
+// CapacityBytes returns the exported logical capacity.
+func (s *SSD) CapacityBytes() int64 { return int64(s.ctrl.LogicalPages()) * 16 * 1024 }
+
+// Now returns the current simulated time.
+func (s *SSD) Now() time.Duration { return time.Duration(s.eng.Now()) }
+
+// ErrBadLPN reports an out-of-range logical page number.
+var ErrBadLPN = errors.New("cubeftl: LPN out of range")
+
+// Write enqueues a host page write; done (optional) runs in simulated
+// time when the write is acknowledged. Call Run to advance the
+// simulation.
+func (s *SSD) Write(lpn int64, done func()) error {
+	if lpn < 0 || lpn >= int64(s.ctrl.LogicalPages()) {
+		return fmt.Errorf("%w: %d", ErrBadLPN, lpn)
+	}
+	if done == nil {
+		done = func() {}
+	}
+	s.ctrl.Write(ftl.LPN(lpn), done)
+	return nil
+}
+
+// Read enqueues a host page read; done (optional) runs in simulated
+// time when data is returned.
+func (s *SSD) Read(lpn int64, done func()) error {
+	if lpn < 0 || lpn >= int64(s.ctrl.LogicalPages()) {
+		return fmt.Errorf("%w: %d", ErrBadLPN, lpn)
+	}
+	if done == nil {
+		done = func() {}
+	}
+	s.ctrl.Read(ftl.LPN(lpn), done)
+	return nil
+}
+
+// Run advances the simulation until all queued host I/O has completed.
+func (s *SSD) Run() {
+	s.eng.Run()
+	s.eng.RunWhile(func() bool { return !s.ctrl.Drained() })
+}
+
+// Prefill sequentially writes logical pages [0, n) so subsequent reads
+// hit mapped flash and the device reaches steady state.
+func (s *SSD) Prefill(n int64) {
+	workload.Prefill(s.ctrl, n)
+}
+
+// ResetStats clears accumulated measurements (use after Prefill).
+func (s *SSD) ResetStats() { s.ctrl.ResetStats() }
+
+// Workloads lists the named evaluation workloads.
+func Workloads() []string {
+	names := make([]string, 0, len(workload.All))
+	for _, p := range workload.All {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// RunStats summarizes a workload run on the SSD.
+type RunStats struct {
+	Requests  int64
+	Elapsed   time.Duration // simulated
+	IOPS      float64
+	ReadP50   time.Duration
+	ReadP90   time.Duration
+	ReadP99   time.Duration
+	WriteP50  time.Duration
+	WriteP90  time.Duration
+	WriteP99  time.Duration
+	MeanTPROG time.Duration
+
+	ReadRetries    int64
+	GCRuns         int64
+	Reprograms     int64
+	BufferHits     int64
+	DataMismatches int64
+}
+
+// RunWorkload drives one of the named workloads (see Workloads) against
+// the SSD for the given number of requests at the given queue depth.
+func (s *SSD) RunWorkload(name string, requests, queueDepth int) (RunStats, error) {
+	prof, ok := workload.ByName(name)
+	if !ok {
+		return RunStats{}, fmt.Errorf("cubeftl: unknown workload %q (have %v)", name, Workloads())
+	}
+	gen := workload.NewStream(prof, s.ctrl.LogicalPages(), s.dev.Config().Seed+0xABCD)
+	res := workload.Run(s.ctrl, gen, workload.RunConfig{Requests: requests, QueueDepth: queueDepth})
+	st := s.ctrl.Stats()
+	return RunStats{
+		Requests:       res.Requests,
+		Elapsed:        time.Duration(res.ElapsedNs),
+		IOPS:           res.IOPS(),
+		ReadP50:        time.Duration(res.ReadLat.Percentile(50)),
+		ReadP90:        time.Duration(res.ReadLat.Percentile(90)),
+		ReadP99:        time.Duration(res.ReadLat.Percentile(99)),
+		WriteP50:       time.Duration(res.WriteLat.Percentile(50)),
+		WriteP90:       time.Duration(res.WriteLat.Percentile(90)),
+		WriteP99:       time.Duration(res.WriteLat.Percentile(99)),
+		MeanTPROG:      time.Duration(st.MeanTPROGNs()),
+		ReadRetries:    st.ReadRetries,
+		GCRuns:         st.GCCount,
+		Reprograms:     st.Reprograms,
+		BufferHits:     st.BufferHits,
+		DataMismatches: st.DataMismatches,
+	}, nil
+}
+
+// CubeStats reports the PS-aware decision counters when the SSD runs a
+// cube flavor (zero value otherwise).
+type CubeStats struct {
+	LeaderPrograms   int64
+	FollowerPrograms int64
+	SafetyRejects    int64
+	ORTHits          int64
+	ORTMisses        int64
+	ORTBytes         int64
+}
+
+// Cube returns the PS-aware counters (meaningful for cube flavors).
+func (s *SSD) Cube() CubeStats {
+	if s.cube == nil {
+		return CubeStats{}
+	}
+	cs := s.cube.CubeStats()
+	return CubeStats{
+		LeaderPrograms:   cs.LeaderPrograms,
+		FollowerPrograms: cs.FollowerPrograms,
+		SafetyRejects:    cs.SafetyRejects,
+		ORTHits:          cs.ORTHits,
+		ORTMisses:        cs.ORTMisses,
+		ORTBytes:         s.cube.ORTBytes(),
+	}
+}

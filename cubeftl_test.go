@@ -1,0 +1,203 @@
+package cubeftl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallOptions(f string) Options {
+	return Options{FTL: f, BlocksPerChip: 16, Seed: 5}
+}
+
+func TestNewDefaults(t *testing.T) {
+	dev, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.FTLName() != "cubeFTL" {
+		t.Errorf("default FTL = %s", dev.FTLName())
+	}
+	if dev.LogicalPages() == 0 || dev.CapacityBytes() == 0 {
+		t.Error("empty device")
+	}
+}
+
+func TestNewRejectsUnknownFTL(t *testing.T) {
+	if _, err := New(Options{FTL: "magic"}); err == nil {
+		t.Fatal("unknown FTL accepted")
+	}
+}
+
+func TestAllFlavorsConstruct(t *testing.T) {
+	for _, f := range []string{FTLPage, FTLVert, FTLCube, FTLCubeMinus} {
+		dev, err := New(smallOptions(f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if dev.FTLName() == "" {
+			t.Errorf("%s: empty name", f)
+		}
+	}
+}
+
+func TestWriteReadRun(t *testing.T) {
+	dev, err := New(smallOptions(FTLCube))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acks := 0
+	for lpn := int64(0); lpn < 50; lpn++ {
+		if err := dev.Write(lpn, func() { acks++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.Run()
+	if acks != 50 {
+		t.Fatalf("acks = %d", acks)
+	}
+	if dev.Now() <= 0 {
+		t.Error("simulated time did not advance")
+	}
+	reads := 0
+	if err := dev.Read(25, func() { reads++ }); err != nil {
+		t.Fatal(err)
+	}
+	dev.Run()
+	if reads != 1 {
+		t.Error("read never completed")
+	}
+}
+
+func TestLPNValidation(t *testing.T) {
+	dev, _ := New(smallOptions(FTLPage))
+	if err := dev.Write(-1, nil); err == nil {
+		t.Error("negative LPN accepted")
+	}
+	if err := dev.Read(int64(dev.LogicalPages()), nil); err == nil {
+		t.Error("out-of-range LPN accepted")
+	}
+}
+
+func TestRunWorkloadAndCubeStats(t *testing.T) {
+	dev, err := New(smallOptions(FTLCube))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Prefill(int64(dev.LogicalPages()) / 2)
+	dev.ResetStats()
+	st, err := dev.RunWorkload("Mail", 800, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 800 || st.IOPS <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MeanTPROG <= 0 {
+		t.Error("no program latency recorded")
+	}
+	cs := dev.Cube()
+	if cs.FollowerPrograms == 0 {
+		t.Error("cubeFTL never used followers")
+	}
+	if cs.ORTBytes == 0 {
+		t.Error("ORT accounting empty")
+	}
+	if _, err := dev.RunWorkload("nope", 10, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestCubeStatsZeroForBaselines(t *testing.T) {
+	dev, _ := New(smallOptions(FTLPage))
+	if cs := dev.Cube(); cs != (CubeStats{}) {
+		t.Errorf("pageFTL cube stats = %+v", cs)
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 6 {
+		t.Fatalf("workloads = %v", ws)
+	}
+	want := map[string]bool{"Mail": true, "Web": true, "Proxy": true, "OLTP": true, "Rocks": true, "Mongo": true}
+	for _, w := range ws {
+		if !want[w] {
+			t.Errorf("unexpected workload %q", w)
+		}
+	}
+}
+
+func TestFigureRegistry(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) < 11 {
+		t.Fatalf("figure ids = %v", ids)
+	}
+	if err := ReproduceFigure("bogus", 1, &bytes.Buffer{}); err == nil {
+		t.Error("bogus figure accepted")
+	}
+	// Run a cheap one end to end.
+	var buf bytes.Buffer
+	if err := ReproduceFigure("fig6", 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "deltaV") {
+		t.Errorf("fig6 output missing deltaV note:\n%s", buf.String())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, CubeStats) {
+		dev, err := New(smallOptions(FTLCube))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := dev.RunWorkload("OLTP", 500, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.IOPS, dev.Cube()
+	}
+	i1, c1 := run()
+	i2, c2 := run()
+	if i1 != i2 || c1 != c2 {
+		t.Errorf("same-seed runs diverged: %v vs %v, %+v vs %+v", i1, i2, c1, c2)
+	}
+}
+
+func TestVerifyDataOption(t *testing.T) {
+	opts := smallOptions(FTLCube)
+	opts.VerifyData = true
+	dev, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dev.RunWorkload("Mongo", 600, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DataMismatches != 0 {
+		t.Fatalf("data mismatches = %d", st.DataMismatches)
+	}
+}
+
+func TestIspAndPlanesOptions(t *testing.T) {
+	opts := smallOptions(FTLIsp)
+	opts.PlanesPerChip = 2
+	dev, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.FTLName() != "ispFTL" {
+		t.Errorf("name = %s", dev.FTLName())
+	}
+	st, err := dev.RunWorkload("OLTP", 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ispFTL accelerates fresh programs well below the 704us default.
+	if st.MeanTPROG >= 600*time.Microsecond {
+		t.Errorf("ispFTL mean tPROG = %v, want clearly accelerated", st.MeanTPROG)
+	}
+}

@@ -1,0 +1,24 @@
+// Characterization demo: regenerate the paper's §3 process study and
+// the §4 optimization characterizations on the simulated chips — the
+// figures that establish the horizontal intra-layer similarity the
+// whole design rests on.
+package main
+
+import (
+	"log"
+	"os"
+
+	"cubeftl"
+)
+
+func main() {
+	// Fig 5: word lines on the same h-layer are virtually equivalent.
+	// Fig 6: h-layers differ strongly and age nonlinearly.
+	// Fig 8: verify-skip budgets per program state.
+	// Fig 14: read-retry distributions, PS-aware vs PS-unaware.
+	for _, id := range []string{"fig5", "fig6", "fig8", "fig14"} {
+		if err := cubeftl.ReproduceFigure(id, 1, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

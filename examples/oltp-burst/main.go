@@ -1,0 +1,47 @@
+// OLTP burst demo: the scenario the paper's intro motivates — an
+// update-heavy database whose write bursts saturate the flash program
+// path. Runs the OLTP workload under all four FTLs on identical
+// devices and compares throughput and write tails, showing the WAM's
+// adaptive leader/follower allocation absorbing the bursts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cubeftl"
+)
+
+func main() {
+	const (
+		requests = 12000
+		qd       = 24
+		blocks   = 32
+	)
+	fmt.Println("OLTP (write-intensive, bursty) on four FTLs, fresh device")
+	fmt.Printf("%-9s %10s %12s %12s %12s %14s\n",
+		"FTL", "IOPS", "write p50", "write p90", "mean tPROG", "followers")
+	for _, f := range []string{cubeftl.FTLPage, cubeftl.FTLVert, cubeftl.FTLCubeMinus, cubeftl.FTLCube} {
+		dev, err := cubeftl.New(cubeftl.Options{FTL: f, BlocksPerChip: blocks, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev.Prefill(int64(dev.LogicalPages()) * 6 / 10)
+		dev.ResetStats()
+		st, err := dev.RunWorkload("OLTP", requests, qd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs := dev.Cube()
+		followers := "-"
+		if cs.FollowerPrograms > 0 {
+			followers = fmt.Sprintf("%.0f%%", 100*float64(cs.FollowerPrograms)/
+				float64(cs.FollowerPrograms+cs.LeaderPrograms))
+		}
+		fmt.Printf("%-9s %10.0f %12v %12v %12v %14s\n",
+			dev.FTLName(), st.IOPS, st.WriteP50, st.WriteP90, st.MeanTPROG, followers)
+	}
+	fmt.Println("\ncubeFTL serves burst writes from fast follower word lines")
+	fmt.Println("(leaders are spent while the write buffer is calm), so its")
+	fmt.Println("mean tPROG and write tail drop well below the baselines.")
+}

@@ -1,0 +1,43 @@
+// Trace record and replay: capture a workload's request stream to a
+// plain-text trace, then replay it bit-for-bit against two different
+// FTLs — the apples-to-apples comparison methodology real storage teams
+// use with blktrace captures.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"cubeftl"
+)
+
+func main() {
+	// Record 6000 Mongo (YCSB-A) requests sized for a small device.
+	probe, err := cubeftl.New(cubeftl.Options{FTL: cubeftl.FTLPage, BlocksPerChip: 32, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if err := cubeftl.RecordTrace(&trace, "Mongo", probe.LogicalPages(), 6000, 9); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded trace: %d bytes, format \"<r|w> <lpn> <pages> [think_ns]\"\n\n", trace.Len())
+
+	fmt.Printf("%-9s %10s %12s %12s %12s\n", "FTL", "IOPS", "write p50", "write p90", "mean tPROG")
+	for _, f := range []string{cubeftl.FTLPage, cubeftl.FTLCube} {
+		dev, err := cubeftl.New(cubeftl.Options{FTL: f, BlocksPerChip: 32, Seed: 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev.Prefill(int64(dev.LogicalPages()) * 6 / 10)
+		dev.ResetStats()
+		st, err := dev.RunTrace(bytes.NewReader(trace.Bytes()), "mongo-capture", 6000, 24)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %10.0f %12v %12v %12v\n", dev.FTLName(), st.IOPS, st.WriteP50, st.WriteP90, st.MeanTPROG)
+	}
+	fmt.Println("\nBoth devices saw the identical request sequence; every")
+	fmt.Println("difference above is the FTL.")
+}

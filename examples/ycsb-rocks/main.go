@@ -1,0 +1,57 @@
+// YCSB-A over an LSM store (the paper's "Rocks" workload) across the
+// drive's lifetime: fresh, mid-life, and end-of-life. At end of life
+// 90% of reads need retries at the default reference voltages, and
+// cubeFTL's per-h-layer ORT reuse is what keeps the drive usable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cubeftl"
+)
+
+func main() {
+	agings := []struct {
+		label     string
+		pe        int
+		retention float64
+	}{
+		{"fresh (0K P/E)", 0, 0},
+		{"2K P/E + 1 month", 2000, 1},
+		{"2K P/E + 1 year", 2000, 12},
+	}
+	const requests = 8000
+
+	for _, ag := range agings {
+		fmt.Printf("== Rocks (YCSB-A), %s ==\n", ag.label)
+		fmt.Printf("%-9s %10s %12s %12s %14s\n", "FTL", "IOPS", "read p50", "read p99", "read retries")
+		var base float64
+		for _, f := range []string{cubeftl.FTLPage, cubeftl.FTLCube} {
+			dev, err := cubeftl.New(cubeftl.Options{
+				FTL:             f,
+				BlocksPerChip:   32,
+				Seed:            11,
+				PECycles:        ag.pe,
+				RetentionMonths: ag.retention,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			dev.Prefill(int64(dev.LogicalPages()) * 6 / 10)
+			dev.ResetStats()
+			st, err := dev.RunWorkload("Rocks", requests, 24)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-9s %10.0f %12v %12v %14d\n",
+				dev.FTLName(), st.IOPS, st.ReadP50, st.ReadP99, st.ReadRetries)
+			if f == cubeftl.FTLPage {
+				base = st.IOPS
+			} else if base > 0 {
+				fmt.Printf("          -> cubeFTL: %+.0f%% IOPS vs pageFTL\n", 100*(st.IOPS/base-1))
+			}
+		}
+		fmt.Println()
+	}
+}

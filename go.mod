@@ -1,0 +1,3 @@
+module cubeftl
+
+go 1.22

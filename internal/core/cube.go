@@ -1,0 +1,366 @@
+// Package core implements cubeFTL, the paper's PS-aware flash
+// translation layer (§5). It plugs into the generic controller of
+// package ftl through the Policy interface and adds the two modules the
+// paper introduces:
+//
+//   - OPM (Optimal Parameter Manager): monitors each h-layer's leading
+//     word line — the observed ISPP loop windows and the BER_EP1 health
+//     indicator — and derives tightened program parameters (verify-skip
+//     plans, V_Start/V_Final margins) for the remaining word lines of
+//     the same h-layer, exploiting the horizontal process similarity.
+//     It also maintains the ORT: the per-h-layer cache of optimal read
+//     reference voltage offsets that slashes read retries.
+//
+//   - WAM (WL Allocation Manager): watches the write-buffer utilization
+//     mu and allocates fast follower word lines under pressure
+//     (mu > mu_TH) and slow leader word lines otherwise, over active
+//     blocks kept in the fully mixed order (MOS) so followers are
+//     plentiful exactly when bursts arrive.
+//
+// The safety check of §4.1.4 is implemented as a program verdict: a
+// follower whose post-program BER is far above its h-layer's recent
+// history is rejected, and the controller rewrites the data on the next
+// word line with fresh monitoring.
+package core
+
+import (
+	"cubeftl/internal/ftl"
+	"cubeftl/internal/nand"
+	"cubeftl/internal/process"
+	"cubeftl/internal/ssd"
+	"cubeftl/internal/vth"
+)
+
+// ORTGranularity selects how read-offset cache entries are keyed — the
+// paper uses one entry per physical h-layer; coarser keyings are
+// provided for the ablation study.
+type ORTGranularity int
+
+const (
+	// ORTPerLayer keys the cache by (chip, block, h-layer) — §5.1.
+	ORTPerLayer ORTGranularity = iota
+	// ORTPerBlock keys by (chip, block), ignoring inter-layer drift
+	// differences within a block.
+	ORTPerBlock
+	// ORTPerChip keys by chip only.
+	ORTPerChip
+)
+
+// Config tunes cubeFTL.
+type Config struct {
+	// UseWAM enables workload-aware leader/follower allocation. With it
+	// off (and Order horizontal-first) the policy is the paper's
+	// cubeFTL- ablation.
+	UseWAM bool
+	// MuThreshold is mu_TH: buffer utilization above it requests fast
+	// follower word lines (paper example: 0.9).
+	MuThreshold float64
+	// ActiveBlocks is the number of write points per chip (paper: 2).
+	ActiveBlocks int
+	// Order is the static program order used when WAM is disabled.
+	Order ftl.Order
+	// SafetyCheck enables the §4.1.4 post-program BER verdict.
+	SafetyCheck bool
+	// SafetyRatio is how far above the h-layer's previous program BER a
+	// follower may land before it is declared improperly programmed.
+	SafetyRatio float64
+	// RefBerEP1 is the offline-characterized normalization reference
+	// for the spare margin S_M (BER_EP1 of the best fresh h-layer).
+	RefBerEP1 float64
+	// ORT selects the read-offset cache granularity.
+	ORT ORTGranularity
+}
+
+// DefaultConfig returns the paper's cubeFTL configuration.
+func DefaultConfig() Config {
+	return Config{
+		UseWAM:       true,
+		MuThreshold:  0.9,
+		ActiveBlocks: 2,
+		Order:        ftl.OrderMixed,
+		SafetyCheck:  true,
+		SafetyRatio:  2.5,
+		RefBerEP1:    vth.BerEP1(1e-4),
+		ORT:          ORTPerLayer,
+	}
+}
+
+// MinusConfig returns cubeFTL-: identical except the WAM is disabled
+// and allocation follows the horizontal-first order (§6.3).
+func MinusConfig() Config {
+	c := DefaultConfig()
+	c.UseWAM = false
+	c.Order = ftl.OrderHorizontalFirst
+	return c
+}
+
+// layerObs is the OPM's monitoring record for one open h-layer.
+type layerObs struct {
+	valid   bool
+	windows []process.LoopWindow
+	skip    [vth.ProgramStates]int
+	startMV int
+	finalMV int
+	// lastBER is the most recent post-program BER on this h-layer,
+	// normalized by the expected parameter penalty of that program so
+	// leader and follower measurements compare like for like.
+	lastBER float64
+}
+
+// expectedPenalty is the offline-characterized BER growth a program's
+// parameters are expected to cause (the Fig 10 curve plus a small
+// allowance for within-budget skipping). The safety check divides it
+// out before comparing against the h-layer's history, so legitimate
+// parameter aggressiveness is not mistaken for a failing program.
+func expectedPenalty(p nand.ProgramParams) float64 {
+	pen := vth.MarginBERPenalty(p.StartMarginMV + p.FinalMarginMV)
+	if p.TotalSkips() > 0 {
+		pen *= 1.1
+	}
+	return pen
+}
+
+// CubeFTL is the PS-aware policy.
+type CubeFTL struct {
+	cfg Config
+	geo ssd.Geometry
+
+	opm map[int64]*layerObs // keyed by (chip, block, layer)
+	ort map[int64]int8      // cached optimal read offsets
+
+	stats CubeStats
+}
+
+// CubeStats counts PS-aware decisions for reporting.
+type CubeStats struct {
+	LeaderPrograms   int64
+	FollowerPrograms int64
+	SafetyRejects    int64
+	ORTHits          int64
+	ORTMisses        int64
+}
+
+// NewCubeFTL builds the policy for a device geometry.
+func NewCubeFTL(geo ssd.Geometry, cfg Config) *CubeFTL {
+	if cfg.MuThreshold <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.ActiveBlocks < 1 {
+		cfg.ActiveBlocks = 1
+	}
+	return &CubeFTL{
+		cfg: cfg,
+		geo: geo,
+		opm: make(map[int64]*layerObs),
+		ort: make(map[int64]int8),
+	}
+}
+
+// New returns the paper's cubeFTL over a device geometry.
+func New(geo ssd.Geometry) *CubeFTL { return NewCubeFTL(geo, DefaultConfig()) }
+
+// NewMinus returns cubeFTL- (WAM disabled).
+func NewMinus(geo ssd.Geometry) *CubeFTL { return NewCubeFTL(geo, MinusConfig()) }
+
+// Name implements ftl.Policy.
+func (f *CubeFTL) Name() string {
+	if !f.cfg.UseWAM {
+		return "cubeFTL-"
+	}
+	return "cubeFTL"
+}
+
+// Config returns the policy configuration.
+func (f *CubeFTL) Config() Config { return f.cfg }
+
+// CubeStats returns the PS-aware decision counters.
+func (f *CubeFTL) CubeStats() CubeStats { return f.stats }
+
+// ActiveBlocksPerChip implements ftl.Policy.
+func (f *CubeFTL) ActiveBlocksPerChip() int { return f.cfg.ActiveBlocks }
+
+func (f *CubeFTL) opmKey(chip, block, layer int) int64 {
+	return (int64(chip)*int64(f.geo.BlocksPerChip)+int64(block))*int64(f.geo.Layers) + int64(layer)
+}
+
+func (f *CubeFTL) ortKey(chip, block, layer int) int64 {
+	switch f.cfg.ORT {
+	case ORTPerBlock:
+		return f.opmKey(chip, block, 0)
+	case ORTPerChip:
+		return int64(chip) * int64(f.geo.BlocksPerChip) * int64(f.geo.Layers)
+	default:
+		return f.opmKey(chip, block, layer)
+	}
+}
+
+// SelectWL implements ftl.Policy: the WAM's adaptive allocation (Fig 16).
+func (f *CubeFTL) SelectWL(_ int, actives []*ftl.BlockCursor, util float64) (int, int, int, bool) {
+	if !f.cfg.UseWAM {
+		for i, cur := range actives {
+			if l, w, ok := cur.NextInOrder(f.cfg.Order); ok {
+				return i, l, w, true
+			}
+		}
+		return 0, 0, 0, false
+	}
+	if util > f.cfg.MuThreshold {
+		// High write-bandwidth demand: serve from fast followers.
+		if i, l, w, ok := findFollower(actives); ok {
+			return i, l, w, true
+		}
+		if i, l, ok := findLeader(actives); ok {
+			return i, l, 0, true
+		}
+		return 0, 0, 0, false
+	}
+	// Normal demand: spend slow leader word lines, keeping followers in
+	// reserve for the next burst.
+	if i, l, ok := findLeader(actives); ok {
+		return i, l, 0, true
+	}
+	if i, l, w, ok := findFollower(actives); ok {
+		return i, l, w, true
+	}
+	return 0, 0, 0, false
+}
+
+func findLeader(actives []*ftl.BlockCursor) (idx, layer int, ok bool) {
+	for i, cur := range actives {
+		if l := cur.LeaderLayer(); l >= 0 {
+			return i, l, true
+		}
+	}
+	return 0, 0, false
+}
+
+func findFollower(actives []*ftl.BlockCursor) (idx, layer, wl int, ok bool) {
+	for i, cur := range actives {
+		if l, w := cur.FollowerSlot(); l >= 0 {
+			return i, l, w, true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// ProgramParams implements ftl.Policy: default parameters for leader
+// word lines (no measurement exists yet for the h-layer), tightened
+// parameters for followers (§5.1).
+func (f *CubeFTL) ProgramParams(chip, block, layer, _ int) nand.ProgramParams {
+	obs := f.opm[f.opmKey(chip, block, layer)]
+	if obs == nil || !obs.valid {
+		return nand.ProgramParams{}
+	}
+	var p nand.ProgramParams
+	p.SkipVFY = obs.skip
+	p.StartMarginMV = obs.startMV
+	p.FinalMarginMV = obs.finalMV
+	return p
+}
+
+// ObserveProgram implements ftl.Policy: leader monitoring, follower
+// bookkeeping, and the safety check.
+func (f *CubeFTL) ObserveProgram(chip, block, layer, _ int, params nand.ProgramParams, res nand.ProgramResult) ftl.ProgramVerdict {
+	key := f.opmKey(chip, block, layer)
+	obs := f.opm[key]
+	if obs == nil || !obs.valid {
+		// Leader program: derive the follower plan from what was
+		// monitored (§4.1.1, §4.1.2).
+		f.stats.LeaderPrograms++
+		o := &layerObs{valid: true, windows: res.Windows, lastBER: res.MeasuredBER}
+		sm := vth.SpareMargin(res.BerEP1, f.cfg.RefBerEP1)
+		total := vth.SMToMarginMV(sm)
+		if total < vth.DeltaVISPPmV {
+			// Sub-loop margins save no ISPP loop; not worth the
+			// Set-Features load.
+			total = 0
+		}
+		o.startMV, o.finalMV = vth.SplitMargin(total)
+		startLoops := vth.LoopsSaved(o.startMV)
+		for i, w := range res.Windows {
+			if skip := w.MinLoop - startLoops - 1; skip > 0 {
+				o.skip[i] = skip
+			}
+		}
+		f.opm[key] = o
+		if f.cfg.SafetyCheck && res.Suspect {
+			// Even a leader can be hit by a disturbance; its
+			// measurements must not seed followers.
+			o.valid = false
+			f.stats.SafetyRejects++
+			return ftl.VerdictReprogram
+		}
+		return ftl.VerdictOK
+	}
+
+	// Follower program: normalize the measurement by the penalty the
+	// parameters it actually ran with are expected to cause.
+	f.stats.FollowerPrograms++
+	normBER := res.MeasuredBER / expectedPenalty(params)
+	if f.cfg.SafetyCheck && obs.lastBER > 0 && normBER > f.cfg.SafetyRatio*obs.lastBER {
+		// §4.1.4: improperly programmed — rewrite the data on the next
+		// word line and re-monitor from scratch on this h-layer.
+		obs.valid = false
+		f.stats.SafetyRejects++
+		return ftl.VerdictReprogram
+	}
+	obs.lastBER = normBER
+	return ftl.VerdictOK
+}
+
+// ReadStartOffset implements ftl.Policy: the ORT lookup (§4.2).
+func (f *CubeFTL) ReadStartOffset(chip, block, layer int) int {
+	if v, ok := f.ort[f.ortKey(chip, block, layer)]; ok {
+		f.stats.ORTHits++
+		return int(v)
+	}
+	f.stats.ORTMisses++
+	return 0
+}
+
+// ObserveRead implements ftl.Policy: the ORT update. Successful reads
+// record the offset that decoded; uncorrectable reads clear the entry
+// so the next read rebuilds it from the default voltages.
+func (f *CubeFTL) ObserveRead(chip, block, layer int, res nand.ReadResult, err error) {
+	key := f.ortKey(chip, block, layer)
+	if err != nil {
+		delete(f.ort, key)
+		return
+	}
+	f.ort[key] = int8(res.OffsetUsed)
+}
+
+// BlockRetired implements ftl.Policy: follower parameters are kept only
+// while the block is an open write point (§5.1).
+func (f *CubeFTL) BlockRetired(chip, block int) {
+	for l := 0; l < f.geo.Layers; l++ {
+		delete(f.opm, f.opmKey(chip, block, l))
+	}
+}
+
+// BlockErased implements ftl.Policy: an erased block's cached read
+// offsets describe data that no longer exists.
+func (f *CubeFTL) BlockErased(chip, block int) {
+	f.BlockRetired(chip, block)
+	if f.cfg.ORT != ORTPerLayer {
+		return // coarse entries aggregate many blocks; keep them
+	}
+	for l := 0; l < f.geo.Layers; l++ {
+		delete(f.ort, f.ortKey(chip, block, l))
+	}
+}
+
+// ORTBytes returns the ORT's memory footprint in bytes at the paper's
+// encoding (2 bytes per h-layer, §5.1), for the space-overhead report.
+func (f *CubeFTL) ORTBytes() int64 {
+	switch f.cfg.ORT {
+	case ORTPerBlock:
+		return 2 * int64(f.geo.Chips) * int64(f.geo.BlocksPerChip)
+	case ORTPerChip:
+		return 2 * int64(f.geo.Chips)
+	default:
+		return 2 * int64(f.geo.Chips) * int64(f.geo.BlocksPerChip) * int64(f.geo.Layers)
+	}
+}
+
+var _ ftl.Policy = (*CubeFTL)(nil)

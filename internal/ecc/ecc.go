@@ -1,0 +1,120 @@
+// Package ecc models the SSD controller's error-correction engine.
+//
+// The paper's mechanisms need only the engine's binary verdict — "page
+// decoded" or "uncorrectable, retry with adjusted read reference
+// voltages" (§2.3) — so the model is a correction-capability threshold:
+// a 16 KB page is split into fixed-size codewords, each codeword
+// tolerates up to CorrectableBits errors, and a page read fails if any
+// codeword exceeds the budget. Error counts are sampled binomially from
+// the word line's effective BER, which makes the pass/fail boundary
+// appropriately soft near the capability limit.
+package ecc
+
+import (
+	"math"
+
+	"cubeftl/internal/rng"
+)
+
+// Codeword geometry: a BCH-class code protecting 1 KB of data with a
+// 72-bit correction capability — a typical configuration for early-
+// generation 3D TLC controllers.
+const (
+	CodewordBytes   = 1024
+	CodewordBits    = CodewordBytes * 8
+	CorrectableBits = 72
+)
+
+// LimitBER is the raw bit error rate at which the expected error count
+// per codeword equals the correction capability. Reads at effective BER
+// above this fail with probability ~0.5 and quickly approach 1.
+const LimitBER = float64(CorrectableBits) / float64(CodewordBits)
+
+// CodewordsPerPage returns how many ECC codewords cover a page.
+func CodewordsPerPage(pageBytes int) int {
+	n := pageBytes / CodewordBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Margin returns LimitBER / ber: how many times the effective BER can
+// grow before the expected error count hits the correction capability.
+func Margin(ber float64) float64 {
+	if ber <= 0 {
+		return math.Inf(1)
+	}
+	return LimitBER / ber
+}
+
+// Engine samples decode outcomes. It is not safe for concurrent use;
+// give each simulated controller its own Engine.
+type Engine struct {
+	src *rng.Source
+}
+
+// NewEngine returns an engine drawing from the given source.
+func NewEngine(src *rng.Source) *Engine { return &Engine{src: src} }
+
+// Result reports one decode attempt.
+type Result struct {
+	Correctable bool
+	// MaxErrors is the largest per-codeword error count observed.
+	MaxErrors int
+	// TotalErrors is the page-wide sampled error count.
+	TotalErrors int
+}
+
+// Decode samples the decode outcome of reading a page of pageBytes at
+// effective bit error rate ber.
+func (e *Engine) Decode(ber float64, pageBytes int) Result {
+	n := CodewordsPerPage(pageBytes)
+	res := Result{Correctable: true}
+	for i := 0; i < n; i++ {
+		errs := e.src.Binomial(CodewordBits, ber)
+		res.TotalErrors += errs
+		if errs > res.MaxErrors {
+			res.MaxErrors = errs
+		}
+		if errs > CorrectableBits {
+			res.Correctable = false
+		}
+	}
+	return res
+}
+
+// FailProb returns the analytic probability that a page read at
+// effective BER ber is uncorrectable, using a normal approximation to
+// the per-codeword binomial. Used by tests and by fast-path models that
+// want an expected value instead of a sample.
+func FailProb(ber float64, pageBytes int) float64 {
+	return FailProbFor(ber, CodewordBits, CorrectableBits, CodewordsPerPage(pageBytes))
+}
+
+// FailProbFor is FailProb generalized to an arbitrary code geometry:
+// codewords words of bits bits, each correcting up to t errors. It lets
+// tests cross-validate this statistical model against the real BCH
+// decoder in package bch at matching t/n ratios.
+func FailProbFor(ber float64, bits, t, codewords int) float64 {
+	if ber <= 0 {
+		return 0
+	}
+	if ber >= 1 {
+		return 1
+	}
+	mean := float64(bits) * ber
+	sd := math.Sqrt(mean * (1 - ber))
+	if sd == 0 {
+		if mean > float64(t) {
+			return 1
+		}
+		return 0
+	}
+	z := (float64(t) + 0.5 - mean) / sd
+	pOK := phi(z)
+	return 1 - math.Pow(pOK, float64(codewords))
+}
+
+// phi is the standard normal CDF.
+func phi(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }

@@ -1,0 +1,147 @@
+package ecc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cubeftl/internal/rng"
+)
+
+func TestCodewordsPerPage(t *testing.T) {
+	cases := []struct{ bytes, want int }{
+		{16384, 16}, {4096, 4}, {1024, 1}, {512, 1}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := CodewordsPerPage(c.bytes); got != c.want {
+			t.Errorf("CodewordsPerPage(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestMargin(t *testing.T) {
+	if m := Margin(LimitBER); math.Abs(m-1) > 1e-12 {
+		t.Errorf("Margin(LimitBER) = %v, want 1", m)
+	}
+	if m := Margin(LimitBER / 10); math.Abs(m-10) > 1e-9 {
+		t.Errorf("Margin = %v, want 10", m)
+	}
+	if !math.IsInf(Margin(0), 1) {
+		t.Error("Margin(0) not +Inf")
+	}
+}
+
+func TestDecodeCleanPage(t *testing.T) {
+	e := NewEngine(rng.New(1))
+	for i := 0; i < 100; i++ {
+		res := e.Decode(1e-4, 16384)
+		if !res.Correctable {
+			t.Fatalf("page at BER 1e-4 failed to decode: %+v", res)
+		}
+	}
+}
+
+func TestDecodeHopelessPage(t *testing.T) {
+	e := NewEngine(rng.New(2))
+	for i := 0; i < 100; i++ {
+		res := e.Decode(10*LimitBER, 16384)
+		if res.Correctable {
+			t.Fatalf("page at 10x limit BER decoded: %+v", res)
+		}
+	}
+}
+
+func TestDecodeBoundaryIsSoft(t *testing.T) {
+	e := NewEngine(rng.New(3))
+	fails := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if !e.Decode(LimitBER, 1024).Correctable {
+			fails++
+		}
+	}
+	f := float64(fails) / trials
+	if f < 0.25 || f > 0.75 {
+		t.Errorf("failure rate at the capability limit = %.3f, want ~0.5", f)
+	}
+}
+
+func TestDecodeErrorAccounting(t *testing.T) {
+	e := NewEngine(rng.New(4))
+	res := e.Decode(1e-3, 16384)
+	if res.TotalErrors < res.MaxErrors {
+		t.Errorf("TotalErrors %d < MaxErrors %d", res.TotalErrors, res.MaxErrors)
+	}
+	if res.MaxErrors == 0 || res.TotalErrors == 0 {
+		t.Errorf("expected some sampled errors at BER 1e-3: %+v", res)
+	}
+}
+
+func TestFailProbEndpointsAndMonotonicity(t *testing.T) {
+	if FailProb(0, 16384) != 0 {
+		t.Error("FailProb(0) != 0")
+	}
+	if FailProb(1, 16384) != 1 {
+		t.Error("FailProb(1) != 1")
+	}
+	prev := -1.0
+	for ber := 1e-5; ber < 0.1; ber *= 1.5 {
+		p := FailProb(ber, 16384)
+		if p < prev-1e-12 {
+			t.Fatalf("FailProb not monotone at ber=%v", ber)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("FailProb(%v) = %v out of [0,1]", ber, p)
+		}
+		prev = p
+	}
+	if p := FailProb(1e-4, 16384); p > 1e-6 {
+		t.Errorf("FailProb at healthy BER = %v, want ~0", p)
+	}
+	if p := FailProb(3*LimitBER, 16384); p < 0.999 {
+		t.Errorf("FailProb at 3x limit = %v, want ~1", p)
+	}
+}
+
+func TestFailProbMatchesSampling(t *testing.T) {
+	e := NewEngine(rng.New(5))
+	for _, ber := range []float64{0.006, LimitBER, 0.012} {
+		fails := 0
+		const trials = 3000
+		for i := 0; i < trials; i++ {
+			if !e.Decode(ber, 4096).Correctable {
+				fails++
+			}
+		}
+		got := float64(fails) / trials
+		want := FailProb(ber, 4096)
+		if math.Abs(got-want) > 0.06 {
+			t.Errorf("ber %v: sampled fail rate %.3f vs analytic %.3f", ber, got, want)
+		}
+	}
+}
+
+func TestQuickDecodeRanges(t *testing.T) {
+	e := NewEngine(rng.New(6))
+	f := func(berRaw uint16, pagesRaw uint8) bool {
+		ber := float64(berRaw) / 65535 * 0.05
+		pageBytes := (int(pagesRaw)%16 + 1) * 1024
+		res := e.Decode(ber, pageBytes)
+		if res.MaxErrors < 0 || res.TotalErrors < 0 {
+			return false
+		}
+		if res.MaxErrors > CodewordBits {
+			return false
+		}
+		if res.Correctable && res.MaxErrors > CorrectableBits {
+			return false
+		}
+		if !res.Correctable && res.MaxErrors <= CorrectableBits {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

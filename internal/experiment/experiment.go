@@ -1,0 +1,57 @@
+// Package experiment reproduces every data figure of the paper's
+// characterization (§3), optimization (§4) and evaluation (§6) sections.
+// Each FigNN function runs the corresponding experiment on the simulated
+// chips/SSD and returns a result whose Table() prints the same rows or
+// series the paper reports. cmd/paperfig exposes them on the command
+// line and bench_test.go wraps each in a testing.B benchmark.
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+	Notes []string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Cols, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// FprintJSON renders the table as machine-readable JSON (one object
+// with title, columns, rows, and notes), for scripted consumers of the
+// reproduction results.
+func (t *Table) FprintJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Title string     `json:"title"`
+		Cols  []string   `json:"columns"`
+		Rows  [][]string `json:"rows"`
+		Notes []string   `json:"notes,omitempty"`
+	}{t.Title, t.Cols, t.Rows, t.Notes})
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,135 @@
+package ftl
+
+import "fmt"
+
+// WriteBuffer models the controller's DRAM write buffer. Host writes are
+// acknowledged on admission; entries occupy a slot until their word-line
+// program completes, so the buffer's utilization reflects how far flash
+// programming lags behind the host — the signal the WAM thresholds on
+// (§5.2).
+type WriteBuffer struct {
+	capacity int
+	entries  map[LPN]*bufEntry
+	queue    []LPN // admission-ordered entries awaiting flush
+	occupied int
+}
+
+type bufEntry struct {
+	lpn      LPN
+	seq      uint64 // bumped on every overwrite; flushes capture it
+	inflight bool   // currently part of an issued program
+	requeue  bool   // overwritten while in flight; must flush again
+}
+
+// NewWriteBuffer returns a buffer holding up to capacity pages.
+func NewWriteBuffer(capacity int) *WriteBuffer {
+	if capacity < 1 {
+		panic(fmt.Sprintf("ftl: write buffer capacity %d", capacity))
+	}
+	return &WriteBuffer{
+		capacity: capacity,
+		entries:  make(map[LPN]*bufEntry, capacity),
+	}
+}
+
+// Capacity returns the slot count.
+func (b *WriteBuffer) Capacity() int { return b.capacity }
+
+// Occupied returns the number of used slots (including in-flight ones).
+func (b *WriteBuffer) Occupied() int { return b.occupied }
+
+// Utilization is the paper's mu: occupied slots over capacity.
+func (b *WriteBuffer) Utilization() float64 {
+	return float64(b.occupied) / float64(b.capacity)
+}
+
+// Contains reports whether lpn's latest data lives in the buffer.
+func (b *WriteBuffer) Contains(lpn LPN) bool {
+	_, ok := b.entries[lpn]
+	return ok
+}
+
+// Flushable returns how many entries are queued and not in flight.
+func (b *WriteBuffer) Flushable() int { return len(b.queue) }
+
+// Put admits a host write. An overwrite of a buffered page coalesces in
+// place and always succeeds; a new page needs a free slot. It reports
+// whether the write was admitted.
+func (b *WriteBuffer) Put(lpn LPN) bool {
+	if e, ok := b.entries[lpn]; ok {
+		e.seq++
+		if e.inflight {
+			e.requeue = true
+		}
+		return true
+	}
+	if b.occupied >= b.capacity {
+		return false
+	}
+	b.entries[lpn] = &bufEntry{lpn: lpn}
+	b.queue = append(b.queue, lpn)
+	b.occupied++
+	return true
+}
+
+// FlushHandle identifies one page of an issued program so its slot can
+// be settled on completion.
+type FlushHandle struct {
+	LPN LPN
+	seq uint64
+}
+
+// TakeFlushGroup removes up to max queued entries for one word-line
+// program, marking them in flight.
+func (b *WriteBuffer) TakeFlushGroup(max int) []FlushHandle {
+	n := max
+	if n > len(b.queue) {
+		n = len(b.queue)
+	}
+	out := make([]FlushHandle, 0, n)
+	for i := 0; i < n; i++ {
+		lpn := b.queue[i]
+		e := b.entries[lpn]
+		e.inflight = true
+		out = append(out, FlushHandle{LPN: lpn, seq: e.seq})
+	}
+	b.queue = b.queue[n:]
+	return out
+}
+
+// Requeue returns in-flight entries to the head of the flush queue with
+// their slots intact — the reprogram path after a failed safety check.
+func (b *WriteBuffer) Requeue(hs []FlushHandle) {
+	head := make([]LPN, 0, len(hs))
+	for _, h := range hs {
+		e, ok := b.entries[h.LPN]
+		if !ok || !e.inflight {
+			continue
+		}
+		e.inflight = false
+		e.requeue = false
+		head = append(head, h.LPN)
+	}
+	b.queue = append(head, b.queue...)
+}
+
+// Settle resolves one flushed page after its program completed. It
+// reports whether the captured data is still current (the caller should
+// install the mapping) — stale data was overwritten mid-flight and must
+// not be mapped. The slot is freed unless the entry needs another flush.
+func (b *WriteBuffer) Settle(h FlushHandle) (current bool) {
+	e, ok := b.entries[h.LPN]
+	if !ok {
+		return false
+	}
+	current = e.seq == h.seq
+	if e.requeue {
+		e.inflight = false
+		e.requeue = false
+		b.queue = append(b.queue, h.LPN)
+		return current
+	}
+	delete(b.entries, h.LPN)
+	b.occupied--
+	return current
+}

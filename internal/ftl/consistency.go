@@ -1,0 +1,96 @@
+package ftl
+
+import (
+	"fmt"
+
+	"cubeftl/internal/nand"
+	"cubeftl/internal/ssd"
+)
+
+// Trim invalidates a logical page (the host discard/TRIM command): the
+// mapping is dropped and any buffered copy forgotten, so the physical
+// page becomes garbage for the next collection. Completion is
+// immediate (metadata only).
+func (c *Controller) Trim(lpn LPN, done func()) {
+	if lpn >= 0 && int(lpn) < c.mapper.LogicalPages() {
+		c.mapper.Invalidate(lpn)
+		c.stats.Trims++
+	}
+	if done != nil {
+		c.eng.After(c.cfg.BufferReadNs, done)
+	}
+}
+
+// CheckConsistency audits the controller's translation state against
+// the device, returning the first violation found (nil when clean).
+// It verifies, for a drained controller:
+//
+//   - forward/reverse map agreement (Lookup(Owner(p)) == p),
+//   - per-block valid counts match the reverse map,
+//   - every live physical page is programmed on its chip,
+//   - no free-pool block holds live pages,
+//   - active cursors agree with chip programmed state.
+//
+// Tests and long soak runs call it after every phase; it is the fsck of
+// the simulated FTL.
+func (c *Controller) CheckConsistency() error {
+	if !c.Drained() {
+		return fmt.Errorf("ftl: consistency check on a non-drained controller")
+	}
+	geo := c.geo
+	// Forward -> reverse.
+	for lpn := LPN(0); lpn < LPN(c.mapper.LogicalPages()); lpn++ {
+		ppn := c.mapper.Lookup(lpn)
+		if ppn == ssd.UnmappedPPN {
+			continue
+		}
+		if owner := c.mapper.Owner(ppn); owner != lpn {
+			return fmt.Errorf("ftl: LPN %d maps to PPN %d owned by %d", lpn, ppn, owner)
+		}
+		chip, block, layer, wl, _ := geo.DecodePPN(ppn)
+		addr := nand.Address{Block: block, Layer: layer, WL: wl}
+		if !c.dev.Chip(chip).NAND.IsProgrammed(addr) {
+			return fmt.Errorf("ftl: LPN %d maps to unprogrammed %v on chip %d", lpn, addr, chip)
+		}
+	}
+	// Reverse -> forward and valid counts.
+	perBlock := geo.PagesPerBlock()
+	for chip := 0; chip < geo.Chips; chip++ {
+		for b := 0; b < geo.BlocksPerChip; b++ {
+			base := ssd.PPN((chip*geo.BlocksPerChip + b) * perBlock)
+			live := 0
+			for i := 0; i < perBlock; i++ {
+				lpn := c.mapper.Owner(base + ssd.PPN(i))
+				if lpn == UnmappedLPN {
+					continue
+				}
+				live++
+				if got := c.mapper.Lookup(lpn); got != base+ssd.PPN(i) {
+					return fmt.Errorf("ftl: PPN %d claims LPN %d which maps to %d", base+ssd.PPN(i), lpn, got)
+				}
+			}
+			if v := c.mapper.ValidCount(chip, b); v != live {
+				return fmt.Errorf("ftl: chip %d block %d valid count %d, reverse map has %d", chip, b, v, live)
+			}
+		}
+		// Free-pool blocks must hold nothing live.
+		for _, b := range c.freeBlocks[chip] {
+			if v := c.mapper.ValidCount(chip, b); v != 0 {
+				return fmt.Errorf("ftl: free block %d on chip %d has %d live pages", b, chip, v)
+			}
+		}
+		// Active cursors must agree with the chip.
+		for _, cur := range c.actives[chip] {
+			for l := 0; l < geo.Layers; l++ {
+				for w := 0; w < geo.WLsPerLayer; w++ {
+					onChip := c.dev.Chip(chip).NAND.IsProgrammed(nand.Address{Block: cur.Block, Layer: l, WL: w})
+					if cur.IsFree(l, w) == onChip {
+						return fmt.Errorf("ftl: cursor/chip disagree on chip %d block %d layer %d wl %d",
+							chip, cur.Block, l, w)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,623 @@
+package ftl
+
+import (
+	"fmt"
+
+	"cubeftl/internal/metrics"
+	"cubeftl/internal/nand"
+	"cubeftl/internal/sim"
+	"cubeftl/internal/ssd"
+	"cubeftl/internal/vth"
+)
+
+// ControllerConfig tunes the datapath around the policy.
+type ControllerConfig struct {
+	// WriteBufferPages is the DRAM write buffer capacity in pages.
+	WriteBufferPages int
+	// OverProvision is the fraction of physical pages withheld from the
+	// logical capacity (spare area for garbage collection).
+	OverProvision float64
+	// GCFreeBlocksLow triggers garbage collection on a chip when its
+	// free-block pool drops to this size.
+	GCFreeBlocksLow int
+	// BufferReadNs is the latency of serving a read from the buffer.
+	BufferReadNs int64
+	// FlushTimeoutNs flushes a partial word-line group after this idle
+	// time so trickle writes are not stranded in the buffer.
+	FlushTimeoutNs int64
+	// MaxInflightProgramsPerChip bounds concurrently issued programs
+	// per chip so allocation decisions stay close to execution.
+	MaxInflightProgramsPerChip int
+	// WearAware makes the free-block allocator pick the least-worn
+	// erased block instead of the most recently freed one, spreading
+	// P/E cycles across the chip (static wear leveling).
+	WearAware bool
+	// VerifyData enables the end-to-end integrity oracle: synthesized
+	// tagged payloads flow through flush, GC relocation, and read-back
+	// verification. Requires chips built with nand.Config.StoreData.
+	VerifyData bool
+	// DisableReadReclaim turns off read-disturb reclaim (relocating a
+	// block whose read count exceeds the chip's disturb budget).
+	DisableReadReclaim bool
+}
+
+// DefaultControllerConfig returns the evaluation defaults.
+func DefaultControllerConfig() ControllerConfig {
+	return ControllerConfig{
+		WriteBufferPages:           192,
+		OverProvision:              0.125,
+		GCFreeBlocksLow:            4,
+		BufferReadNs:               3 * sim.Microsecond,
+		FlushTimeoutNs:             500 * sim.Microsecond,
+		MaxInflightProgramsPerChip: 1,
+	}
+}
+
+// Stats aggregates controller-level measurements for one run.
+type Stats struct {
+	HostReads  int64
+	HostWrites int64
+
+	ReadLat  *metrics.Hist // host read completion latency (ns)
+	WriteLat *metrics.Hist // host write completion latency (ns)
+
+	BufferHits    int64
+	UnmappedReads int64
+	ReadRetries   int64
+	Uncorrectable int64
+
+	Programs    int64
+	ProgramNs   int64 // summed NAND program latency (for mean tPROG)
+	GCCount     int64
+	GCPageMoves int64
+	Reprograms  int64
+	Padded      int64 // pages of padding in partial flush groups
+	Trims       int64 // host discard commands
+	// DataMismatches counts flash reads whose payload did not match the
+	// translation state (VerifyData mode) — always zero for a correct FTL.
+	DataMismatches int64
+	// Reclaims counts read-disturb reclaim relocations.
+	Reclaims int64
+}
+
+// MeanTPROGNs returns the average NAND program latency of the run.
+func (s *Stats) MeanTPROGNs() float64 {
+	if s.Programs == 0 {
+		return 0
+	}
+	return float64(s.ProgramNs) / float64(s.Programs)
+}
+
+// Controller is the host-facing FTL datapath: write buffering, page
+// mapping, flushing, garbage collection, and read handling, with all
+// flavor-specific choices delegated to a Policy.
+type Controller struct {
+	eng *sim.Engine
+	dev *ssd.Device
+	pol Policy
+	cfg ControllerConfig
+	geo ssd.Geometry
+
+	mapper *Mapper
+	buf    *WriteBuffer
+
+	freeBlocks [][]int          // per chip: erased block IDs
+	actives    [][]*BlockCursor // per chip: open write points
+	inflight   []int            // per chip: issued, uncompleted programs
+	gcActive   []bool           // per chip: GC in progress
+
+	pendingWrites []pendingWrite // host writes waiting for buffer space
+	flushChip     int            // round-robin cursor
+	timerArmed    bool
+
+	verify *verifyState // non-nil in VerifyData mode
+	stats  Stats
+}
+
+type pendingWrite struct {
+	lpn  LPN
+	done func()
+}
+
+// NewController wires a controller over the device with the policy.
+func NewController(dev *ssd.Device, pol Policy, cfg ControllerConfig) *Controller {
+	if cfg.WriteBufferPages <= 0 {
+		cfg = DefaultControllerConfig()
+	}
+	geo := dev.Geometry()
+	logical := int(float64(geo.PhysPages()) * (1 - cfg.OverProvision))
+	c := &Controller{
+		eng:    dev.Engine(),
+		dev:    dev,
+		pol:    pol,
+		cfg:    cfg,
+		geo:    geo,
+		mapper: NewMapper(geo, logical),
+		buf:    NewWriteBuffer(cfg.WriteBufferPages),
+	}
+	c.stats.ReadLat = metrics.NewHist(0)
+	c.stats.WriteLat = metrics.NewHist(0)
+	if cfg.VerifyData {
+		c.verify = newVerifyState(logical)
+	}
+	nChips := geo.Chips
+	c.freeBlocks = make([][]int, nChips)
+	c.actives = make([][]*BlockCursor, nChips)
+	c.inflight = make([]int, nChips)
+	c.gcActive = make([]bool, nChips)
+	for chip := 0; chip < nChips; chip++ {
+		c.freeBlocks[chip] = make([]int, 0, geo.BlocksPerChip)
+		for b := geo.BlocksPerChip - 1; b >= 0; b-- {
+			c.freeBlocks[chip] = append(c.freeBlocks[chip], b)
+		}
+		n := pol.ActiveBlocksPerChip()
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			c.actives[chip] = append(c.actives[chip], c.takeFreeBlock(chip))
+		}
+	}
+	return c
+}
+
+// Policy returns the controller's policy.
+func (c *Controller) Policy() Policy { return c.pol }
+
+// Engine returns the simulation engine driving the controller.
+func (c *Controller) Engine() *sim.Engine { return c.eng }
+
+// Device returns the underlying SSD back end.
+func (c *Controller) Device() *ssd.Device { return c.dev }
+
+// ResetStats discards accumulated measurements (e.g. after a prefill or
+// warmup phase) without touching translation or buffer state.
+func (c *Controller) ResetStats() {
+	c.stats = Stats{
+		ReadLat:  metrics.NewHist(0),
+		WriteLat: metrics.NewHist(0),
+	}
+}
+
+// Mapper exposes translation state (tests and experiments).
+func (c *Controller) Mapper() *Mapper { return c.mapper }
+
+// Stats returns the live statistics (updated in place during the run).
+func (c *Controller) Stats() *Stats { return &c.stats }
+
+// BufferUtilization returns the paper's mu.
+func (c *Controller) BufferUtilization() float64 { return c.buf.Utilization() }
+
+// LogicalPages returns the exported capacity in pages.
+func (c *Controller) LogicalPages() int { return c.mapper.LogicalPages() }
+
+func (c *Controller) takeFreeBlock(chip int) *BlockCursor {
+	pool := c.freeBlocks[chip]
+	if len(pool) == 0 {
+		panic(fmt.Sprintf("ftl: chip %d out of free blocks (GC misconfigured)", chip))
+	}
+	idx := len(pool) - 1
+	if c.cfg.WearAware {
+		nand := c.dev.Chip(chip).NAND
+		best := nand.PECycles(pool[idx])
+		for i, b := range pool[:idx] {
+			if pe := nand.PECycles(b); pe < best {
+				best, idx = pe, i
+			}
+		}
+	}
+	b := pool[idx]
+	c.freeBlocks[chip] = append(pool[:idx], pool[idx+1:]...)
+	return NewBlockCursor(chip, b, c.geo.Layers, c.geo.WLsPerLayer)
+}
+
+// WearSpread returns the min and max block P/E counts across the device
+// — the wear-leveling figure of merit.
+func (c *Controller) WearSpread() (min, max int) {
+	min = int(^uint(0) >> 1)
+	for chip := 0; chip < c.geo.Chips; chip++ {
+		n := c.dev.Chip(chip).NAND
+		for b := 0; b < c.geo.BlocksPerChip; b++ {
+			pe := n.PECycles(b)
+			if pe < min {
+				min = pe
+			}
+			if pe > max {
+				max = pe
+			}
+		}
+	}
+	return min, max
+}
+
+// Read serves a host page read; done runs at completion in simulated time.
+func (c *Controller) Read(lpn LPN, done func()) {
+	c.stats.HostReads++
+	start := c.eng.Now()
+	finish := func() {
+		c.stats.ReadLat.Add(c.eng.Now() - start)
+		done()
+	}
+	if c.buf.Contains(lpn) {
+		c.stats.BufferHits++
+		c.eng.After(c.cfg.BufferReadNs, finish)
+		return
+	}
+	ppn := c.mapper.Lookup(lpn)
+	if ppn == ssd.UnmappedPPN {
+		c.stats.UnmappedReads++
+		c.eng.After(c.cfg.BufferReadNs, finish)
+		return
+	}
+	chip, block, layer, wl, page := c.geo.DecodePPN(ppn)
+	params := nand.ReadParams{StartOffset: c.pol.ReadStartOffset(chip, block, layer)}
+	addr := nand.Address{Block: block, Layer: layer, WL: wl, Page: page}
+	c.dev.Read(chip, addr, params, func(res nand.ReadResult, err error) {
+		c.stats.ReadRetries += int64(res.Retries)
+		if err != nil {
+			c.stats.Uncorrectable++
+		} else {
+			c.checkReadPayload(lpn, res.Data)
+		}
+		c.pol.ObserveRead(chip, block, layer, res, err)
+		c.maybeReclaim(chip, block)
+		finish()
+	})
+}
+
+// maybeReclaim starts a read-disturb reclaim of a block whose read
+// count exceeded the chip's disturb budget: its data is relocated
+// through the normal GC machinery and the erase resets the counter.
+func (c *Controller) maybeReclaim(chip, block int) {
+	if c.cfg.DisableReadReclaim || c.gcActive[chip] || c.isActive(chip, block) {
+		return
+	}
+	if c.dev.Chip(chip).NAND.BlockReads(block) < nand.ReadDisturbBudget {
+		return
+	}
+	if len(c.freeBlocks[chip]) <= 1 {
+		return // do not race an out-of-space condition
+	}
+	c.gcActive[chip] = true
+	c.stats.Reclaims++
+	c.relocate(chip, block, c.mapper.LivePages(chip, block))
+}
+
+// Write serves a host page write; done runs when the write is
+// acknowledged (admitted to the buffer). Backpressure from a full
+// buffer delays the acknowledgment.
+func (c *Controller) Write(lpn LPN, done func()) {
+	if lpn < 0 || int(lpn) >= c.mapper.LogicalPages() {
+		panic(fmt.Sprintf("ftl: host write beyond logical capacity: %d", lpn))
+	}
+	c.stats.HostWrites++
+	start := c.eng.Now()
+	ack := func() {
+		c.stats.WriteLat.Add(c.eng.Now() - start)
+		done()
+	}
+	if c.buf.Put(lpn) {
+		c.eng.After(c.cfg.BufferReadNs, ack) // DMA into buffer
+		c.maybeFlush()
+		return
+	}
+	c.pendingWrites = append(c.pendingWrites, pendingWrite{lpn: lpn, done: ack})
+	c.maybeFlush()
+}
+
+// admitPending moves waiting host writes into freed buffer slots.
+func (c *Controller) admitPending() {
+	for len(c.pendingWrites) > 0 {
+		pw := c.pendingWrites[0]
+		if !c.buf.Put(pw.lpn) {
+			return
+		}
+		c.pendingWrites = c.pendingWrites[1:]
+		pw.done()
+	}
+}
+
+// maybeFlush issues word-line programs while buffered pages and chip
+// slots are available.
+func (c *Controller) maybeFlush() {
+	for c.buf.Flushable() >= vth.PagesPerWL {
+		chip, ok := c.pickChip()
+		if !ok {
+			return
+		}
+		c.flushTo(chip, c.buf.TakeFlushGroup(vth.PagesPerWL))
+	}
+	if c.buf.Flushable() > 0 {
+		c.armFlushTimer()
+	}
+}
+
+// pickChip round-robins over chips with an open program slot. Chips
+// whose free-block pool is critically low are skipped for host flushes
+// so in-progress garbage collection always has blocks to write into.
+func (c *Controller) pickChip() (int, bool) {
+	n := c.geo.Chips
+	for i := 0; i < n; i++ {
+		chip := (c.flushChip + i) % n
+		if c.inflight[chip] < c.cfg.MaxInflightProgramsPerChip && len(c.freeBlocks[chip]) > 1 {
+			c.flushChip = (chip + 1) % n
+			return chip, true
+		}
+	}
+	return 0, false
+}
+
+// armFlushTimer schedules a partial flush so trickle writes complete.
+func (c *Controller) armFlushTimer() {
+	if c.timerArmed {
+		return
+	}
+	c.timerArmed = true
+	c.eng.After(c.cfg.FlushTimeoutNs, func() {
+		c.timerArmed = false
+		if c.buf.Flushable() == 0 {
+			return
+		}
+		if chip, ok := c.pickChip(); ok {
+			group := c.buf.TakeFlushGroup(vth.PagesPerWL)
+			c.stats.Padded += int64(vth.PagesPerWL - len(group))
+			c.flushTo(chip, group)
+		} else {
+			c.armFlushTimer()
+		}
+	})
+}
+
+// allocateWL asks the policy for a word line, rotating full active
+// blocks out for fresh ones as needed.
+func (c *Controller) allocateWL(chip int) (cursor *BlockCursor, layer, wl int) {
+	for attempt := 0; attempt < 2; attempt++ {
+		idx, l, w, ok := c.pol.SelectWL(chip, c.actives[chip], c.buf.Utilization())
+		if ok {
+			return c.actives[chip][idx], l, w
+		}
+		// Every active block is full: retire them all and retry.
+		for i, cur := range c.actives[chip] {
+			if cur.Full() {
+				c.pol.BlockRetired(chip, cur.Block)
+				c.actives[chip][i] = c.takeFreeBlock(chip)
+			}
+		}
+	}
+	panic(fmt.Sprintf("ftl: %s could not allocate a word line on chip %d", c.pol.Name(), chip))
+}
+
+// flushTo programs one word line on the chip from buffered pages.
+func (c *Controller) flushTo(chip int, group []FlushHandle) {
+	cursor, layer, wl := c.allocateWL(chip)
+	cursor.Take(layer, wl)
+	block := cursor.Block
+	params := c.pol.ProgramParams(chip, block, layer, wl)
+	addr := nand.Address{Block: block, Layer: layer, WL: wl}
+	c.inflight[chip]++
+	c.dev.Program(chip, addr, c.hostPages(group), params, func(res nand.ProgramResult, err error) {
+		c.inflight[chip]--
+		if err != nil {
+			panic(fmt.Sprintf("ftl: program %v on chip %d: %v", addr, chip, err))
+		}
+		c.stats.Programs++
+		c.stats.ProgramNs += res.LatencyNs
+
+		verdict := c.pol.ObserveProgram(chip, block, layer, wl, params, res)
+		if verdict == VerdictReprogram {
+			// §4.1.4: the word line is suspect — leave it unmapped
+			// (its pages are garbage) and rewrite the same data at the
+			// next allocation with fresh monitoring.
+			c.stats.Reprograms++
+			c.buf.Requeue(group)
+		} else {
+			wlIdx := layer*c.geo.WLsPerLayer + wl
+			for i, h := range group {
+				if c.buf.Settle(h) {
+					c.mapper.Map(h.LPN, c.geo.EncodePPN(chip, block, wlIdx, i))
+					c.recordMapping(h.LPN, h.seq)
+				}
+			}
+			c.admitPending()
+		}
+		c.retireIfFull(chip, cursor)
+		c.checkGC(chip)
+		c.maybeFlush()
+	})
+}
+
+func (c *Controller) retireIfFull(chip int, cursor *BlockCursor) {
+	if !cursor.Full() {
+		return
+	}
+	for i, cur := range c.actives[chip] {
+		if cur == cursor {
+			c.pol.BlockRetired(chip, cursor.Block)
+			c.actives[chip][i] = c.takeFreeBlock(chip)
+			return
+		}
+	}
+}
+
+// isActive reports whether a block is an open write point on its chip.
+func (c *Controller) isActive(chip, block int) bool {
+	for _, cur := range c.actives[chip] {
+		if cur.Block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGC starts garbage collection on a chip whose free pool ran low.
+func (c *Controller) checkGC(chip int) {
+	if c.gcActive[chip] || len(c.freeBlocks[chip]) > c.cfg.GCFreeBlocksLow {
+		return
+	}
+	victim, ok := c.pickVictim(chip)
+	if !ok {
+		return
+	}
+	c.gcActive[chip] = true
+	c.stats.GCCount++
+	c.relocate(chip, victim, c.mapper.LivePages(chip, victim))
+}
+
+// pickVictim selects the non-active, non-free block with the fewest
+// valid pages (greedy policy).
+func (c *Controller) pickVictim(chip int) (int, bool) {
+	free := make(map[int]bool, len(c.freeBlocks[chip]))
+	for _, b := range c.freeBlocks[chip] {
+		free[b] = true
+	}
+	best, bestValid := -1, int(^uint(0)>>1)
+	for b := 0; b < c.geo.BlocksPerChip; b++ {
+		if free[b] || c.isActive(chip, b) {
+			continue
+		}
+		if v := c.mapper.ValidCount(chip, b); v < bestValid {
+			best, bestValid = b, v
+		}
+	}
+	return best, best >= 0
+}
+
+// relocate moves the victim's live pages in word-line-sized batches,
+// then erases it. Each batch is read page by page and programmed into
+// an active block in one shot.
+func (c *Controller) relocate(chip, victim int, lpns []LPN) {
+	// Collect the next batch of still-live victim pages.
+	var batch []LPN
+	for len(batch) < vth.PagesPerWL && len(lpns) > 0 {
+		cand := lpns[0]
+		lpns = lpns[1:]
+		ppn := c.mapper.Lookup(cand)
+		if ppn == ssd.UnmappedPPN {
+			continue
+		}
+		vc, vb, _, _, _ := c.geo.DecodePPN(ppn)
+		if vc != chip || vb != victim {
+			continue
+		}
+		batch = append(batch, cand)
+	}
+	if len(batch) == 0 {
+		c.finishGC(chip, victim)
+		return
+	}
+	c.gcReadBatch(chip, victim, batch, make([][]byte, len(batch)), 0, lpns)
+}
+
+// gcReadBatch reads the batch's pages sequentially (capturing their
+// payloads in data-integrity mode), then programs them.
+func (c *Controller) gcReadBatch(chip, victim int, batch []LPN, data [][]byte, i int, rest []LPN) {
+	if i >= len(batch) {
+		c.gcWrite(chip, victim, batch, data, rest)
+		return
+	}
+	ppn := c.mapper.Lookup(batch[i])
+	if ppn == ssd.UnmappedPPN {
+		// Overwritten mid-batch; the write-back liveness check will
+		// skip it too.
+		c.gcReadBatch(chip, victim, batch, data, i+1, rest)
+		return
+	}
+	_, _, layer, wl, page := c.geo.DecodePPN(ppn)
+	params := nand.ReadParams{StartOffset: c.pol.ReadStartOffset(chip, victim, layer)}
+	addr := nand.Address{Block: victim, Layer: layer, WL: wl, Page: page}
+	c.dev.Read(chip, addr, params, func(res nand.ReadResult, err error) {
+		c.stats.ReadRetries += int64(res.Retries)
+		c.pol.ObserveRead(chip, victim, layer, res, err)
+		if err != nil {
+			c.stats.Uncorrectable++
+		}
+		data[i] = res.Data
+		c.gcReadBatch(chip, victim, batch, data, i+1, rest)
+	})
+}
+
+// gcPages assembles the relocated payloads for one word-line program.
+func (c *Controller) gcPages(data [][]byte) [][]byte {
+	if c.verify == nil {
+		return nil
+	}
+	pages := make([][]byte, vth.PagesPerWL)
+	for i := range pages {
+		if i < len(data) && data[i] != nil {
+			pages[i] = data[i]
+		} else {
+			pages[i] = makePageTag(UnmappedLPN, 0)
+		}
+	}
+	return pages
+}
+
+// gcWrite programs one word line of relocated pages.
+func (c *Controller) gcWrite(chip, victim int, batch []LPN, data [][]byte, rest []LPN) {
+	cursor, layer, wl := c.allocateWL(chip)
+	cursor.Take(layer, wl)
+	block := cursor.Block
+	params := c.pol.ProgramParams(chip, block, layer, wl)
+	addr := nand.Address{Block: block, Layer: layer, WL: wl}
+	c.dev.Program(chip, addr, c.gcPages(data), params, func(res nand.ProgramResult, err error) {
+		if err != nil {
+			panic(fmt.Sprintf("ftl: GC program %v on chip %d: %v", addr, chip, err))
+		}
+		c.stats.Programs++
+		c.stats.ProgramNs += res.LatencyNs
+		verdict := c.pol.ObserveProgram(chip, block, layer, wl, params, res)
+		if verdict == VerdictReprogram {
+			c.stats.Reprograms++
+			c.retireIfFull(chip, cursor)
+			// Retry the same batch on the next word line.
+			c.gcWrite(chip, victim, batch, data, rest)
+			return
+		}
+		wlIdx := layer*c.geo.WLsPerLayer + wl
+		moved := 0
+		for i, l := range batch {
+			// Re-check liveness: the host may have overwritten it while
+			// the program was in flight.
+			ppn := c.mapper.Lookup(l)
+			if ppn != ssd.UnmappedPPN {
+				vc, vb, _, _, _ := c.geo.DecodePPN(ppn)
+				if vc == chip && vb == victim {
+					c.mapper.Map(l, c.geo.EncodePPN(chip, block, wlIdx, i))
+					moved++
+				}
+			}
+		}
+		c.stats.GCPageMoves += int64(moved)
+		c.retireIfFull(chip, cursor)
+		c.relocate(chip, victim, rest)
+	})
+}
+
+// finishGC erases the victim and returns it to the free pool.
+func (c *Controller) finishGC(chip, victim int) {
+	c.dev.Erase(chip, victim, func(_ nand.EraseResult, err error) {
+		if err != nil {
+			panic(fmt.Sprintf("ftl: GC erase of chip %d block %d: %v", chip, victim, err))
+		}
+		c.mapper.ClearBlock(chip, victim)
+		c.freeBlocks[chip] = append(c.freeBlocks[chip], victim)
+		c.pol.BlockErased(chip, victim)
+		c.gcActive[chip] = false
+		c.checkGC(chip)
+		c.maybeFlush()
+	})
+}
+
+// Drained reports that no host work is pending anywhere: used by runs
+// to quiesce before measuring.
+func (c *Controller) Drained() bool {
+	if len(c.pendingWrites) > 0 || c.buf.Occupied() > 0 {
+		return false
+	}
+	for _, n := range c.inflight {
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,217 @@
+package ftl
+
+import (
+	"testing"
+
+	"cubeftl/internal/rng"
+	"cubeftl/internal/sim"
+	"cubeftl/internal/ssd"
+)
+
+// testDevice builds a small SSD for controller tests: 2 chips, 24
+// blocks, 8 layers — enough for GC to engage quickly.
+func testDevice(seed uint64) (*sim.Engine, *ssd.Device) {
+	eng := sim.NewEngine()
+	cfg := ssd.DefaultConfig()
+	cfg.Buses = 1
+	cfg.ChipsPerBus = 2
+	cfg.Chip.Process.BlocksPerChip = 24
+	cfg.Chip.Process.Layers = 8
+	cfg.Seed = seed
+	return eng, ssd.New(eng, cfg)
+}
+
+func testController(t *testing.T, pol Policy) (*sim.Engine, *Controller) {
+	t.Helper()
+	eng, dev := testDevice(7)
+	cfg := DefaultControllerConfig()
+	cfg.WriteBufferPages = 32
+	return eng, NewController(dev, pol, cfg)
+}
+
+func TestControllerWriteReadRoundTrip(t *testing.T) {
+	eng, c := testController(t, NewPagePolicy())
+	writesDone, readsDone := 0, 0
+	for lpn := LPN(0); lpn < 12; lpn++ {
+		c.Write(lpn, func() { writesDone++ })
+	}
+	eng.Run()
+	if writesDone != 12 {
+		t.Fatalf("writes done = %d", writesDone)
+	}
+	if !c.Drained() {
+		t.Fatal("controller not drained after run")
+	}
+	// All 12 pages must be mapped (flushed out of the buffer).
+	for lpn := LPN(0); lpn < 12; lpn++ {
+		if c.Mapper().Lookup(lpn) == ssd.UnmappedPPN {
+			t.Fatalf("LPN %d not mapped after drain", lpn)
+		}
+	}
+	for lpn := LPN(0); lpn < 12; lpn++ {
+		c.Read(lpn, func() { readsDone++ })
+	}
+	eng.Run()
+	if readsDone != 12 {
+		t.Fatalf("reads done = %d", readsDone)
+	}
+	st := c.Stats()
+	if st.HostWrites != 12 || st.HostReads != 12 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ReadLat.N() != 12 || st.WriteLat.N() != 12 {
+		t.Error("latency histograms incomplete")
+	}
+}
+
+func TestControllerUnmappedRead(t *testing.T) {
+	eng, c := testController(t, NewPagePolicy())
+	done := false
+	c.Read(999, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("unmapped read never completed")
+	}
+	if c.Stats().UnmappedReads != 1 {
+		t.Error("unmapped read not counted")
+	}
+}
+
+func TestControllerBufferHit(t *testing.T) {
+	eng, c := testController(t, NewPagePolicy())
+	c.Write(5, func() {})
+	// Read immediately — the page is still buffered.
+	c.Read(5, func() {})
+	eng.Run()
+	if c.Stats().BufferHits != 1 {
+		t.Errorf("buffer hits = %d", c.Stats().BufferHits)
+	}
+}
+
+func TestControllerOverwriteInvalidatesOldPage(t *testing.T) {
+	eng, c := testController(t, NewPagePolicy())
+	for round := 0; round < 3; round++ {
+		for lpn := LPN(0); lpn < 12; lpn++ {
+			c.Write(lpn, func() {})
+		}
+		eng.Run()
+	}
+	// Exactly 12 pages live; everything else programmed is invalid.
+	live := 0
+	for chip := 0; chip < 2; chip++ {
+		for b := 0; b < 24; b++ {
+			live += c.Mapper().ValidCount(chip, b)
+		}
+	}
+	if live != 12 {
+		t.Errorf("live pages = %d, want 12", live)
+	}
+}
+
+// Fill the device well past one block per chip and overwrite heavily:
+// GC must engage and the controller must stay consistent.
+func TestControllerGarbageCollection(t *testing.T) {
+	eng, c := testController(t, NewPagePolicy())
+	logical := c.LogicalPages()
+	// Use 60% of logical space, overwritten several times.
+	n := logical * 6 / 10
+	src := rng.New(3)
+	writes := n * 6
+	done := 0
+	var issue func()
+	outstanding := 0
+	issue = func() {
+		for outstanding < 16 && writes > 0 {
+			writes--
+			outstanding++
+			lpn := LPN(src.Intn(n))
+			c.Write(lpn, func() {
+				outstanding--
+				done++
+				issue()
+			})
+		}
+	}
+	issue()
+	eng.Run()
+	if done != n*6 {
+		t.Fatalf("completed %d of %d writes", done, n*6)
+	}
+	st := c.Stats()
+	if st.GCCount == 0 {
+		t.Error("GC never ran despite heavy overwrites")
+	}
+	if !c.Drained() {
+		t.Error("not drained")
+	}
+	// Consistency: every distinct written LPN maps somewhere, and the
+	// total valid count equals the number of distinct LPNs.
+	live := 0
+	for chip := 0; chip < 2; chip++ {
+		for b := 0; b < 24; b++ {
+			live += c.Mapper().ValidCount(chip, b)
+		}
+	}
+	distinct := 0
+	for lpn := LPN(0); lpn < LPN(n); lpn++ {
+		if c.Mapper().Lookup(lpn) != ssd.UnmappedPPN {
+			distinct++
+		}
+	}
+	if live != distinct {
+		t.Errorf("valid-count total %d != mapped LPNs %d", live, distinct)
+	}
+	t.Logf("GC runs=%d moves=%d programs=%d", st.GCCount, st.GCPageMoves, st.Programs)
+}
+
+func TestControllerBackpressure(t *testing.T) {
+	eng, c := testController(t, NewPagePolicy())
+	// Slam 200 distinct writes at once into a 32-page buffer.
+	done := 0
+	for lpn := LPN(0); lpn < 200; lpn++ {
+		c.Write(lpn, func() { done++ })
+	}
+	eng.Run()
+	if done != 200 {
+		t.Fatalf("done = %d", done)
+	}
+	// Some writes must have seen real backpressure latency.
+	if c.Stats().WriteLat.Max() < 100_000 {
+		t.Errorf("max write latency %d ns — no backpressure observed", c.Stats().WriteLat.Max())
+	}
+}
+
+func TestVertFTLFasterMeanTPROGThanPage(t *testing.T) {
+	run := func(pol Policy) float64 {
+		eng, dev := testDevice(11)
+		cfg := DefaultControllerConfig()
+		cfg.WriteBufferPages = 32
+		c := NewController(dev, pol, cfg)
+		for lpn := LPN(0); lpn < 300; lpn++ {
+			c.Write(lpn%120, func() {})
+		}
+		eng.Run()
+		return c.Stats().MeanTPROGNs()
+	}
+	page := run(NewPagePolicy())
+	vert := run(NewVertPolicy())
+	if vert >= page {
+		t.Fatalf("vertFTL mean tPROG %.0f >= pageFTL %.0f", vert, page)
+	}
+	red := 1 - vert/page
+	if red < 0.04 || red > 0.13 {
+		t.Errorf("vertFTL tPROG reduction = %.3f, want ~0.08", red)
+	}
+}
+
+func TestPartialFlushTimeout(t *testing.T) {
+	eng, c := testController(t, NewPagePolicy())
+	c.Write(3, func() {}) // a single page: less than a word line
+	eng.Run()
+	if c.Mapper().Lookup(3) == ssd.UnmappedPPN {
+		t.Fatal("trickle write never flushed")
+	}
+	if c.Stats().Padded == 0 {
+		t.Error("padding not accounted")
+	}
+}

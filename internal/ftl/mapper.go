@@ -1,0 +1,126 @@
+package ftl
+
+import (
+	"fmt"
+
+	"cubeftl/internal/ssd"
+)
+
+// LPN is a logical page number exposed to the host.
+type LPN int64
+
+// UnmappedLPN marks a physical page holding no live logical page.
+const UnmappedLPN LPN = -1
+
+// Mapper is the page-level address translation state: the forward map
+// (LPN -> PPN), the reverse map (PPN -> LPN) used by garbage collection,
+// and per-block valid-page counts used for victim selection.
+type Mapper struct {
+	geo     ssd.Geometry
+	forward []ssd.PPN // indexed by LPN
+	reverse []LPN     // indexed by PPN
+	valid   []int     // live pages per (chip*BlocksPerChip+block)
+}
+
+// NewMapper sizes translation state for logicalPages exported pages over
+// the device geometry.
+func NewMapper(geo ssd.Geometry, logicalPages int) *Mapper {
+	if logicalPages <= 0 || logicalPages > geo.PhysPages() {
+		panic(fmt.Sprintf("ftl: logical capacity %d out of range (phys %d)", logicalPages, geo.PhysPages()))
+	}
+	m := &Mapper{
+		geo:     geo,
+		forward: make([]ssd.PPN, logicalPages),
+		reverse: make([]LPN, geo.PhysPages()),
+		valid:   make([]int, geo.Chips*geo.BlocksPerChip),
+	}
+	for i := range m.forward {
+		m.forward[i] = ssd.UnmappedPPN
+	}
+	for i := range m.reverse {
+		m.reverse[i] = UnmappedLPN
+	}
+	return m
+}
+
+// LogicalPages returns the exported capacity in pages.
+func (m *Mapper) LogicalPages() int { return len(m.forward) }
+
+// Lookup returns the physical page holding lpn, or UnmappedPPN.
+func (m *Mapper) Lookup(lpn LPN) ssd.PPN {
+	if lpn < 0 || int(lpn) >= len(m.forward) {
+		return ssd.UnmappedPPN
+	}
+	return m.forward[lpn]
+}
+
+// blockOf returns the valid-count index of a PPN.
+func (m *Mapper) blockOf(ppn ssd.PPN) int {
+	chip, block, _, _, _ := m.geo.DecodePPN(ppn)
+	return chip*m.geo.BlocksPerChip + block
+}
+
+// Map installs lpn -> ppn, invalidating any previous mapping of lpn.
+// It panics if ppn already holds a live page (double allocation).
+func (m *Mapper) Map(lpn LPN, ppn ssd.PPN) {
+	if lpn < 0 || int(lpn) >= len(m.forward) {
+		panic(fmt.Sprintf("ftl: Map of out-of-range LPN %d", lpn))
+	}
+	if m.reverse[ppn] != UnmappedLPN {
+		panic(fmt.Sprintf("ftl: PPN %d already holds LPN %d", ppn, m.reverse[ppn]))
+	}
+	if old := m.forward[lpn]; old != ssd.UnmappedPPN {
+		m.reverse[old] = UnmappedLPN
+		m.valid[m.blockOf(old)]--
+	}
+	m.forward[lpn] = ppn
+	m.reverse[ppn] = lpn
+	m.valid[m.blockOf(ppn)]++
+}
+
+// Invalidate drops the mapping of lpn (host trim or overwrite-in-buffer).
+func (m *Mapper) Invalidate(lpn LPN) {
+	if lpn < 0 || int(lpn) >= len(m.forward) {
+		return
+	}
+	if old := m.forward[lpn]; old != ssd.UnmappedPPN {
+		m.reverse[old] = UnmappedLPN
+		m.valid[m.blockOf(old)]--
+		m.forward[lpn] = ssd.UnmappedPPN
+	}
+}
+
+// Owner returns the logical page stored at ppn, or UnmappedLPN.
+func (m *Mapper) Owner(ppn ssd.PPN) LPN { return m.reverse[ppn] }
+
+// ValidCount returns the number of live pages in a block.
+func (m *Mapper) ValidCount(chip, block int) int {
+	return m.valid[chip*m.geo.BlocksPerChip+block]
+}
+
+// ClearBlock drops reverse entries for an erased block. Any still-valid
+// pages must have been relocated first; it panics otherwise.
+func (m *Mapper) ClearBlock(chip, block int) {
+	if v := m.ValidCount(chip, block); v != 0 {
+		panic(fmt.Sprintf("ftl: erasing chip %d block %d with %d valid pages", chip, block, v))
+	}
+	perBlock := m.geo.PagesPerBlock()
+	base := ssd.PPN((chip*m.geo.BlocksPerChip + block) * perBlock)
+	for i := 0; i < perBlock; i++ {
+		m.reverse[base+ssd.PPN(i)] = UnmappedLPN
+	}
+}
+
+// LivePages returns the LPNs currently valid in a block, in physical
+// page order — the relocation set for garbage collection.
+func (m *Mapper) LivePages(chip, block int) []LPN {
+	perBlock := m.geo.PagesPerBlock()
+	base := ssd.PPN((chip*m.geo.BlocksPerChip + block) * perBlock)
+	var out []LPN
+	for i := 0; i < perBlock; i++ {
+		if l := m.reverse[base+ssd.PPN(i)]; l != UnmappedLPN {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package ftl
+
+import (
+	"testing"
+
+	"cubeftl/internal/nand"
+	"cubeftl/internal/vth"
+)
+
+func TestBaselinePolicyNames(t *testing.T) {
+	if NewPagePolicy().Name() != "pageFTL" {
+		t.Error("pageFTL name")
+	}
+	if NewVertPolicy().Name() != "vertFTL" {
+		t.Error("vertFTL name")
+	}
+	if NewIspPolicy(nil).Name() != "ispFTL" {
+		t.Error("ispFTL name")
+	}
+}
+
+func TestBaselineParams(t *testing.T) {
+	if !NewPagePolicy().ProgramParams(0, 0, 0, 0).IsDefault() {
+		t.Error("pageFTL params not default")
+	}
+	vp := NewVertPolicy().ProgramParams(0, 0, 0, 0)
+	if vp.FinalMarginMV != vth.VertFTLFinalMV || vp.StartMarginMV != 0 {
+		t.Errorf("vertFTL params = %+v", vp)
+	}
+}
+
+func TestBaselinesFollowHorizontalOrder(t *testing.T) {
+	for _, pol := range []Policy{NewPagePolicy(), NewVertPolicy(), NewIspPolicy(nil)} {
+		cur := NewBlockCursor(0, 0, 4, 4)
+		actives := []*BlockCursor{cur}
+		for i := 0; i < 6; i++ {
+			_, l, w, ok := pol.SelectWL(0, actives, 0.5)
+			if !ok {
+				t.Fatalf("%s: selection failed", pol.Name())
+			}
+			if l*4+w != i {
+				t.Fatalf("%s: step %d selected (%d,%d)", pol.Name(), i, l, w)
+			}
+			cur.Take(l, w)
+		}
+	}
+}
+
+func TestIspStepSchedule(t *testing.T) {
+	if s := ISPPStepForPE(0); s != 140 {
+		t.Errorf("fresh step = %d, want 140", s)
+	}
+	if s := ISPPStepForPE(2000); s != vth.DeltaVISPPmV {
+		t.Errorf("end-of-life step = %d, want default", s)
+	}
+	if s := ISPPStepForPE(5000); s != vth.DeltaVISPPmV {
+		t.Errorf("beyond-endurance step = %d", s)
+	}
+	prev := 1 << 30
+	for pe := 0; pe <= 2000; pe += 250 {
+		s := ISPPStepForPE(pe)
+		if s > prev {
+			t.Fatalf("step schedule not monotone at %d P/E", pe)
+		}
+		prev = s
+	}
+}
+
+func TestIspPolicyUsesWearLookup(t *testing.T) {
+	pol := NewIspPolicy(func(chip, block int) int {
+		if block == 7 {
+			return 2000
+		}
+		return 0
+	})
+	young := pol.ProgramParams(0, 1, 0, 0)
+	old := pol.ProgramParams(0, 7, 0, 0)
+	if young.ISPPStepMV <= old.ISPPStepMV {
+		t.Errorf("young step %d not above old %d", young.ISPPStepMV, old.ISPPStepMV)
+	}
+	if old.ISPPStepMV != vth.DeltaVISPPmV {
+		t.Errorf("old block step = %d", old.ISPPStepMV)
+	}
+}
+
+// A large ISPP step must speed the program up and degrade the stored BER.
+func TestIspStepOnChip(t *testing.T) {
+	cfg := nand.DefaultConfig()
+	cfg.Process.BlocksPerChip = 4
+	chip := nand.New(cfg)
+	def, err := chip.ProgramWL(nand.Address{Block: 0, Layer: 20, WL: 0}, nil, nand.ProgramParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := chip.ProgramWL(nand.Address{Block: 0, Layer: 20, WL: 1}, nil,
+		nand.ProgramParams{ISPPStepMV: 140})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := 1 - float64(fast.LatencyNs)/float64(def.LatencyNs)
+	if red < 0.18 || red > 0.40 {
+		t.Errorf("140 mV step tPROG reduction = %.3f, want ~0.26", red)
+	}
+	if fast.MeasuredBER < 2*def.MeasuredBER {
+		t.Errorf("enlarged step did not widen distributions: %v vs %v",
+			fast.MeasuredBER, def.MeasuredBER)
+	}
+}

@@ -1,0 +1,237 @@
+// Package metrics provides the measurement primitives used by the
+// simulator and the experiment harness: latency histograms with
+// percentile/CDF extraction, throughput (IOPS) accounting, and simple
+// online summary statistics.
+//
+// All durations are simulated time expressed in nanoseconds (int64), the
+// same unit the discrete-event engine uses.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates online mean/min/max/variance (Welford's algorithm).
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 if empty.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 if empty.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the sample variance, or 0 with fewer than 2 samples.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Hist is a latency histogram over int64 nanosecond samples. It keeps
+// exact samples up to a cap and then switches to logarithmic bucketing,
+// giving exact percentiles for experiment-sized runs while bounding
+// memory on very long ones.
+type Hist struct {
+	samples  []int64
+	capacity int
+	sorted   bool
+
+	// Bucketed mode (after overflow).
+	bucketed bool
+	buckets  []int64 // count per log bucket
+	sum      Summary
+}
+
+const (
+	defaultCap = 1 << 20
+	// log bucketing: 64 major buckets (powers of two) × 32 minor.
+	minorBits  = 5
+	numBuckets = 64 << minorBits
+)
+
+// NewHist returns a histogram that keeps up to cap exact samples before
+// degrading to logarithmic buckets. cap <= 0 selects a large default.
+func NewHist(capacity int) *Hist {
+	if capacity <= 0 {
+		capacity = defaultCap
+	}
+	return &Hist{capacity: capacity}
+}
+
+// Add records one sample. Negative samples are clamped to zero.
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.sum.Add(float64(v))
+	if h.bucketed {
+		h.buckets[bucketOf(v)]++
+		return
+	}
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	if len(h.samples) >= h.capacity {
+		h.spill()
+	}
+}
+
+// spill converts exact samples into bucket counts.
+func (h *Hist) spill() {
+	h.bucketed = true
+	h.buckets = make([]int64, numBuckets)
+	for _, v := range h.samples {
+		h.buckets[bucketOf(v)]++
+	}
+	h.samples = nil
+}
+
+// bucketOf maps a non-negative value to a log bucket index.
+func bucketOf(v int64) int {
+	if v < (1 << minorBits) {
+		return int(v)
+	}
+	exp := 63 - leadingZeros(uint64(v))
+	minor := (v >> (uint(exp) - minorBits)) & ((1 << minorBits) - 1)
+	return int(exp-minorBits+1)<<minorBits + int(minor)
+}
+
+// bucketValue returns a representative value for a bucket index
+// (the lower edge of the bucket).
+func bucketValue(i int) int64 {
+	if i < (1 << minorBits) {
+		return int64(i)
+	}
+	major := i>>minorBits + minorBits - 1
+	minor := i & ((1 << minorBits) - 1)
+	return (1 << uint(major)) | int64(minor)<<(uint(major)-minorBits)
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for ; v&(1<<63) == 0 && n < 64; n++ {
+		v <<= 1
+	}
+	return n
+}
+
+// N returns the number of samples.
+func (h *Hist) N() int64 { return h.sum.N() }
+
+// Mean returns the mean sample.
+func (h *Hist) Mean() float64 { return h.sum.Mean() }
+
+// Max returns the largest sample.
+func (h *Hist) Max() int64 { return int64(h.sum.Max()) }
+
+// Min returns the smallest sample.
+func (h *Hist) Min() int64 { return int64(h.sum.Min()) }
+
+// Percentile returns the p-th percentile (0 < p <= 100). With exact
+// samples it uses the nearest-rank method; in bucketed mode it returns
+// the lower edge of the bucket containing the rank.
+func (h *Hist) Percentile(p float64) int64 {
+	n := h.sum.N()
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = math.SmallestNonzeroFloat64
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if h.bucketed {
+		var cum int64
+		for i, c := range h.buckets {
+			cum += c
+			if cum >= rank {
+				return bucketValue(i)
+			}
+		}
+		return int64(h.sum.Max())
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	return h.samples[rank-1]
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	Value int64   // sample value (ns)
+	Frac  float64 // cumulative fraction in (0, 1]
+}
+
+// CDF returns the cumulative distribution evaluated at the given
+// percentiles (e.g. 1..99). Useful for reproducing latency-CDF figures.
+func (h *Hist) CDF(percentiles []float64) []CDFPoint {
+	out := make([]CDFPoint, 0, len(percentiles))
+	for _, p := range percentiles {
+		out = append(out, CDFPoint{Value: h.Percentile(p), Frac: p / 100})
+	}
+	return out
+}
+
+// StandardPercentiles is the grid used by the latency-CDF experiments.
+var StandardPercentiles = []float64{
+	1, 5, 10, 20, 30, 40, 50, 60, 70, 75, 80, 85, 90, 95, 99, 99.9,
+}
+
+// String summarizes the histogram for logs.
+func (h *Hist) String() string {
+	if h.N() == 0 {
+		return "hist{empty}"
+	}
+	return fmt.Sprintf("hist{n=%d mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus}",
+		h.N(), h.Mean()/1e3,
+		float64(h.Percentile(50))/1e3, float64(h.Percentile(90))/1e3,
+		float64(h.Percentile(99))/1e3, float64(h.Max())/1e3)
+}
+
+// IOPS converts an operation count over a simulated duration (ns) into
+// I/O operations per second. Returns 0 for non-positive durations.
+func IOPS(ops int64, elapsedNs int64) float64 {
+	if elapsedNs <= 0 {
+		return 0
+	}
+	return float64(ops) / (float64(elapsedNs) / 1e9)
+}

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cubeftl/internal/rng"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Fatal("zero-value summary not empty")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Variance()-2.5) > 1e-12 {
+		t.Errorf("Variance = %v, want 2.5", s.Variance())
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Stddev = %v", s.Stddev())
+	}
+}
+
+func TestHistExactPercentiles(t *testing.T) {
+	h := NewHist(0)
+	for i := int64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	cases := []struct {
+		p    float64
+		want int64
+	}{{50, 50}, {90, 90}, {99, 99}, {100, 100}, {1, 1}}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	if math.Abs(h.Mean()-50.5) > 1e-9 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist(0)
+	if h.Percentile(50) != 0 || h.N() != 0 {
+		t.Error("empty hist misbehaves")
+	}
+	if h.String() != "hist{empty}" {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	h := NewHist(0)
+	h.Add(-5)
+	if h.Min() != 0 {
+		t.Errorf("negative sample not clamped: min=%d", h.Min())
+	}
+}
+
+func TestHistBucketedAccuracy(t *testing.T) {
+	// Force spill with a small cap and check bucketed percentiles stay
+	// within one log-bucket (~3%) of exact.
+	exact := NewHist(1 << 21)
+	bucketed := NewHist(64)
+	src := rng.New(42)
+	for i := 0; i < 50000; i++ {
+		v := int64(src.Exponential(80000)) // ~80us mean latencies
+		exact.Add(v)
+		bucketed.Add(v)
+	}
+	for _, p := range []float64{50, 90, 99} {
+		e := float64(exact.Percentile(p))
+		b := float64(bucketed.Percentile(p))
+		if e == 0 {
+			continue
+		}
+		if rel := math.Abs(e-b) / e; rel > 0.04 {
+			t.Errorf("P%v: exact %v bucketed %v (rel err %.3f)", p, e, b, rel)
+		}
+	}
+	if exact.N() != bucketed.N() {
+		t.Errorf("N mismatch: %d vs %d", exact.N(), bucketed.N())
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// bucketValue(bucketOf(v)) must be <= v and within ~3.2% of v.
+	f := func(raw uint64) bool {
+		v := int64(raw >> 1) // non-negative
+		i := bucketOf(v)
+		lo := bucketValue(i)
+		if lo > v {
+			return false
+		}
+		if v >= 64 && float64(v-lo)/float64(v) > 1.0/(1<<minorBits)+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1 << 40} {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf not monotonic at %d", v)
+		}
+		prev = b
+	}
+}
+
+func TestCDF(t *testing.T) {
+	h := NewHist(0)
+	for i := int64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	pts := h.CDF([]float64{10, 50, 90})
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].Value != 100 || pts[1].Value != 500 || pts[2].Value != 900 {
+		t.Errorf("CDF values = %+v", pts)
+	}
+	if pts[1].Frac != 0.5 {
+		t.Errorf("Frac = %v", pts[1].Frac)
+	}
+}
+
+func TestIOPS(t *testing.T) {
+	if got := IOPS(1000, 1e9); got != 1000 {
+		t.Errorf("IOPS = %v", got)
+	}
+	if got := IOPS(500, 5e8); got != 1000 {
+		t.Errorf("IOPS = %v", got)
+	}
+	if got := IOPS(10, 0); got != 0 {
+		t.Errorf("IOPS with zero duration = %v", got)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		h := NewHist(0)
+		for i := 0; i < 500; i++ {
+			h.Add(int64(src.Intn(1000000)))
+		}
+		prev := int64(-1)
+		for _, p := range StandardPercentiles {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package nand models a 3D TLC NAND flash chip at the micro-operation
+// level the paper works at: ISPP program loops with per-state verify
+// accounting, read-retry ladders over adjustable read reference
+// voltages, block erase, wear, and retention — all on the cubic
+// organization (blocks x h-layers x word lines) whose process
+// similarity/variability is produced by package process.
+//
+// The chip exposes the same knobs a real device offers through the
+// vendor Set/Get-Features interface (§4.1.4): per-operation parameter
+// overrides (verify skip counts, V_Start/V_Final margins, read-offset
+// start levels) and post-operation measurements (observed ISPP loop
+// windows, BER_EP1, a post-program BER estimate). The FTLs build their
+// optimizations purely out of these.
+package nand
+
+import (
+	"errors"
+	"fmt"
+
+	"cubeftl/internal/ecc"
+	"cubeftl/internal/process"
+	"cubeftl/internal/rng"
+	"cubeftl/internal/vth"
+)
+
+// Address locates a word line (and optionally a page within it) on a chip.
+type Address struct {
+	Block int
+	Layer int // h-layer index, 0 = bottom of the stack
+	WL    int // word line within the h-layer (v-layer index)
+	Page  int // page within the word line (0..2 for TLC); reads only
+}
+
+func (a Address) String() string {
+	return fmt.Sprintf("b%d/l%d/w%d/p%d", a.Block, a.Layer, a.WL, a.Page)
+}
+
+// Config parameterizes a chip.
+type Config struct {
+	Process   process.Config
+	PageBytes int
+	// StoreData keeps the actual page payloads so reads can return the
+	// written bytes. Disable for large timing-only simulations.
+	StoreData bool
+}
+
+// DefaultConfig returns the paper's chip: 428 blocks x 48 h-layers x
+// 4 WLs x 3 pages of 16 KB.
+func DefaultConfig() Config {
+	return Config{
+		Process:   process.DefaultConfig(),
+		PageBytes: 16 * 1024,
+		StoreData: false,
+	}
+}
+
+// Validation and addressing errors.
+var (
+	ErrBadAddress    = errors.New("nand: address out of range")
+	ErrNotErased     = errors.New("nand: programming a non-erased word line")
+	ErrNotProgrammed = errors.New("nand: reading an unprogrammed word line")
+	ErrUncorrectable = errors.New("nand: uncorrectable page after exhausting read retries")
+	ErrWornOut       = errors.New("nand: block beyond rated endurance")
+)
+
+// wlState tracks one programmed word line.
+type wlState struct {
+	programmed   bool
+	paramPenalty float64 // BER multiplier from aggressive program parameters
+	disturbed    bool    // environmental disturbance hit this program
+	pages        [][]byte
+}
+
+type blockState struct {
+	pe     int
+	wls    []wlState
+	erased bool
+	// reads counts page reads since the last erase; pass-through
+	// voltages on unselected word lines slowly disturb the whole block
+	// (read disturb), so heavily re-read blocks need a reclaim
+	// relocation before their BER drifts into the ECC budget.
+	reads int64
+}
+
+// Chip is one simulated 3D NAND die. Not safe for concurrent use; the
+// discrete-event simulation is single-threaded.
+type Chip struct {
+	cfg    Config
+	model  *process.Model
+	eccEng *ecc.Engine
+	src    *rng.Source
+
+	blocks []blockState
+
+	// fixedRetention, when >= 0, is the retention age (months) applied
+	// to every programmed word line, reproducing the paper's pre-aged
+	// evaluation states. Negative means "no retention" (0 months).
+	fixedRetention float64
+
+	// disturbProb is the per-program probability of an environmental
+	// disturbance (e.g. a sudden ambient temperature surge, §4.1.4)
+	// that invalidates leader-derived parameters for that operation.
+	disturbProb float64
+
+	// readJitterProb is the per-read probability that environmental
+	// factors (temperature, RTN) shift the momentary optimal read
+	// offset by one level — the cause of the occasional ORT
+	// mispredictions the paper mentions (§4.2).
+	readJitterProb float64
+
+	// Counters for reporting.
+	stats Stats
+}
+
+// Stats aggregates per-chip operation counters.
+type Stats struct {
+	Programs        int64
+	ProgramLoops    int64
+	Verifies        int64
+	VerifiesSkipped int64
+	Reads           int64
+	ReadRetries     int64
+	ReadFailures    int64
+	Erases          int64
+	Reprograms      int64 // programs flagged suspect by their measured BER
+}
+
+// New builds a chip from cfg. The chip's randomness (ECC sampling,
+// measurement noise, disturbances) derives from cfg.Process.Seed.
+func New(cfg Config) *Chip {
+	if cfg.PageBytes <= 0 {
+		cfg.PageBytes = DefaultConfig().PageBytes
+	}
+	m := process.NewModel(cfg.Process)
+	src := rng.New(cfg.Process.Seed).Derive("nand/chip")
+	c := &Chip{
+		cfg:            cfg,
+		model:          m,
+		eccEng:         ecc.NewEngine(src.Derive("ecc")),
+		src:            src.Derive("ops"),
+		fixedRetention: -1,
+	}
+	c.blocks = make([]blockState, cfg.Process.BlocksPerChip)
+	wlsPerBlock := cfg.Process.Layers * cfg.Process.WLsPerLayer
+	for b := range c.blocks {
+		c.blocks[b] = blockState{wls: make([]wlState, wlsPerBlock), erased: true}
+	}
+	return c
+}
+
+// Config returns the chip configuration.
+func (c *Chip) Config() Config { return c.cfg }
+
+// Model exposes the chip's process model (used by characterization
+// experiments, as a real study would use a test board).
+func (c *Chip) Model() *process.Model { return c.model }
+
+// Stats returns a copy of the operation counters.
+func (c *Chip) Stats() Stats { return c.stats }
+
+// Geometry helpers.
+
+// WLsPerBlock returns word lines per block.
+func (c *Chip) WLsPerBlock() int {
+	return c.cfg.Process.Layers * c.cfg.Process.WLsPerLayer
+}
+
+// PagesPerBlock returns logical pages per block.
+func (c *Chip) PagesPerBlock() int { return c.WLsPerBlock() * vth.PagesPerWL }
+
+// Blocks returns the number of blocks on the chip.
+func (c *Chip) Blocks() int { return c.cfg.Process.BlocksPerChip }
+
+func (c *Chip) wlIndex(a Address) int {
+	return a.Layer*c.cfg.Process.WLsPerLayer + a.WL
+}
+
+func (c *Chip) checkAddr(a Address) error {
+	p := c.cfg.Process
+	if a.Block < 0 || a.Block >= p.BlocksPerChip ||
+		a.Layer < 0 || a.Layer >= p.Layers ||
+		a.WL < 0 || a.WL >= p.WLsPerLayer ||
+		a.Page < 0 || a.Page >= vth.PagesPerWL {
+		return fmt.Errorf("%w: %v", ErrBadAddress, a)
+	}
+	return nil
+}
+
+// SetPECycles pre-ages a block to n program/erase cycles (experiment
+// setup; the paper pre-cycles blocks to 2K before aged measurements).
+func (c *Chip) SetPECycles(block, n int) {
+	c.blocks[block].pe = n
+}
+
+// PECycles returns a block's current P/E cycle count.
+func (c *Chip) PECycles(block int) int { return c.blocks[block].pe }
+
+// SetFixedRetention makes every read see the given retention age in
+// months, reproducing the paper's pre-aged states (§6.2). Pass a
+// negative value to return to zero retention.
+func (c *Chip) SetFixedRetention(months float64) { c.fixedRetention = months }
+
+// SetDisturbProb sets the per-program probability of an environmental
+// disturbance (0 disables, the default).
+func (c *Chip) SetDisturbProb(p float64) { c.disturbProb = p }
+
+// SetReadJitterProb sets the per-read probability of a one-level
+// momentary shift of the optimal read offset (0 disables).
+func (c *Chip) SetReadJitterProb(p float64) { c.readJitterProb = p }
+
+// aging returns the aging state applied to accesses of a block.
+func (c *Chip) aging(block int) process.Aging {
+	ret := c.fixedRetention
+	if ret < 0 {
+		ret = 0
+	}
+	return process.Aging{PE: c.blocks[block].pe, RetentionMonths: ret}
+}
+
+// Aging exposes the effective aging state of a block (test hooks and
+// characterization runs).
+func (c *Chip) Aging(block int) process.Aging { return c.aging(block) }
+
+// IsProgrammed reports whether the word line holding a has been written
+// since the last erase of its block.
+func (c *Chip) IsProgrammed(a Address) bool {
+	if c.checkAddr(a) != nil {
+		return false
+	}
+	return c.blocks[a.Block].wls[c.wlIndex(a)].programmed
+}
+
+// StoredBER returns the effective bit error rate of a programmed word
+// line at the optimal read offset, including any penalty from the
+// parameters it was programmed with and accumulated read disturb.
+func (c *Chip) StoredBER(a Address) float64 {
+	st := &c.blocks[a.Block].wls[c.wlIndex(a)]
+	pen := st.paramPenalty
+	if pen == 0 {
+		pen = 1
+	}
+	return c.model.BER(a.Block, a.Layer, a.WL, c.aging(a.Block)) * pen *
+		readDisturbPenalty(c.blocks[a.Block].reads)
+}
+
+// ReadDisturbBudget is the per-block read count at which disturb has
+// roughly doubled the stored BER — the point a controller should
+// reclaim the block (relocate and erase).
+const ReadDisturbBudget = 100_000
+
+// readDisturbPenalty is the multiplicative BER growth from accumulated
+// reads since the last erase: negligible for cold blocks, ~2x at the
+// reclaim budget, and accelerating past it.
+func readDisturbPenalty(reads int64) float64 {
+	x := float64(reads) / ReadDisturbBudget
+	return 1 + x*x
+}
+
+// BlockReads returns a block's read count since its last erase.
+func (c *Chip) BlockReads(block int) int64 { return c.blocks[block].reads }
+
+// SampleRetentionErrors samples N_ret(w, x, t): the number of retention
+// bit errors over the word line's three pages under an explicit aging
+// state. This is the measurement primitive of the §3 characterization
+// study.
+func (c *Chip) SampleRetentionErrors(a Address, ag process.Aging) int {
+	ber := c.model.BER(a.Block, a.Layer, a.WL, ag)
+	bits := c.cfg.PageBytes * 8 * vth.PagesPerWL
+	return c.src.Binomial(bits, ber)
+}
+
+// SampleBerEP1Errors samples the E<->P1 error count of a word line — the
+// health-indicator measurement of §4.1.2 (Fig 11(a)).
+func (c *Chip) SampleBerEP1Errors(a Address, ag process.Aging) int {
+	ber := vth.BerEP1(c.model.BER(a.Block, a.Layer, a.WL, ag))
+	bits := c.cfg.PageBytes * 8 * vth.PagesPerWL
+	return c.src.Binomial(bits, ber)
+}

@@ -1,0 +1,259 @@
+package nand
+
+import (
+	"fmt"
+
+	"cubeftl/internal/process"
+	"cubeftl/internal/vth"
+)
+
+// ProgramParams are the per-operation overrides an FTL can apply through
+// the Set-Features interface before programming a word line. The zero
+// value is the chip's default (conservative) parameter set.
+type ProgramParams struct {
+	// SkipVFY[i] is the number of leading verify steps to skip for
+	// program state P(i+1) (§4.1.1). Skipping more than the state's
+	// safe budget over-programs fast cells and raises the stored BER.
+	SkipVFY [vth.ProgramStates]int
+
+	// StartMarginMV raises V_Start and FinalMarginMV lowers V_Final
+	// (§4.1.2), shrinking the ISPP window. Together they remove
+	// (Start+Final)/DeltaVISPP loops.
+	StartMarginMV int
+	FinalMarginMV int
+
+	// ISPPStepMV overrides the ISPP step size (0 = the default
+	// vth.DeltaVISPPmV). Larger steps finish in fewer loops but widen
+	// the programmed distributions (Pan et al. [31]); the related-work
+	// ispFTL baseline drives this knob.
+	ISPPStepMV int
+}
+
+// IsDefault reports whether p requests no overrides (a leader-style
+// program needs no Set-Features load).
+func (p ProgramParams) IsDefault() bool {
+	if p.StartMarginMV != 0 || p.FinalMarginMV != 0 || p.ISPPStepMV != 0 {
+		return false
+	}
+	for _, s := range p.SkipVFY {
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalSkips returns the sum of requested verify skips.
+func (p ProgramParams) TotalSkips() int {
+	t := 0
+	for _, s := range p.SkipVFY {
+		t += s
+	}
+	return t
+}
+
+// ProgramResult reports one word-line program: its latency, the
+// micro-operation counts behind it, and the measurements the OPM
+// monitors on leader word lines.
+type ProgramResult struct {
+	LatencyNs int64
+
+	Loops    int // ISPP loops executed
+	Verifies int // verify steps executed
+	Skipped  int // verify steps skipped relative to default parameters
+
+	// Windows are the observed cumulative loop-completion intervals per
+	// program state (P1..P7), as monitored during this program. For any
+	// other word line on the same h-layer these are virtually identical
+	// — the horizontal process similarity.
+	Windows []process.LoopWindow
+
+	// BerEP1 is the measured E<->P1 error rate after programming (the
+	// health indicator behind the S_M margin computation).
+	BerEP1 float64
+
+	// MeasuredBER estimates the post-program BER via the Get-Features
+	// status check (§4.1.4). A value far above the h-layer's recent
+	// history signals an improperly programmed word line.
+	MeasuredBER float64
+
+	// Suspect indicates the chip-internal program-status check flagged
+	// the operation (set when a disturbance degraded it).
+	Suspect bool
+}
+
+// ProgramWL programs all three pages of a word line in one shot. pages
+// may be nil when the chip does not store data; otherwise it must hold
+// vth.PagesPerWL byte slices.
+func (c *Chip) ProgramWL(a Address, pages [][]byte, params ProgramParams) (ProgramResult, error) {
+	var res ProgramResult
+	if err := c.checkAddr(Address{Block: a.Block, Layer: a.Layer, WL: a.WL}); err != nil {
+		return res, err
+	}
+	blk := &c.blocks[a.Block]
+	st := &blk.wls[c.wlIndex(a)]
+	if st.programmed {
+		return res, fmt.Errorf("%w: %v", ErrNotErased, a)
+	}
+	if c.cfg.StoreData {
+		if len(pages) != vth.PagesPerWL {
+			return res, fmt.Errorf("nand: ProgramWL of %v needs %d pages, got %d", a, vth.PagesPerWL, len(pages))
+		}
+		st.pages = make([][]byte, vth.PagesPerWL)
+		for i, p := range pages {
+			st.pages[i] = append([]byte(nil), p...)
+		}
+	}
+
+	// Program-time aging: wear matters, retention does not (data is new).
+	ag := process.Aging{PE: blk.pe}
+	windows := c.model.LoopWindows(a.Block, a.Layer, ag)
+
+	// An environmental disturbance (temperature surge) shifts this
+	// word line's actual completion windows, invalidating any
+	// leader-derived skip plan (§4.1.4).
+	disturbShift := 0
+	if c.disturbProb > 0 && c.src.Bool(c.disturbProb) {
+		disturbShift = 2
+		st.disturbed = true
+	}
+
+	// Window tightening: raising V_Start shifts every completion
+	// earlier; lowering V_Final trims tail loops.
+	// Whole loops are saved by the combined margin; the V_Start share
+	// additionally shifts every completion window earlier.
+	startLoops := vth.LoopsSaved(params.StartMarginMV)
+	totalLoopsSaved := vth.LoopsSaved(params.StartMarginMV + params.FinalMarginMV)
+	effMaxLoop := vth.DefaultMaxLoop - totalLoopsSaved
+	if effMaxLoop < 1 {
+		effMaxLoop = 1
+	}
+
+	// An enlarged ISPP step compresses every loop count proportionally
+	// (cells cross their targets in fewer, bigger pulses).
+	step := params.ISPPStepMV
+	if step <= 0 {
+		step = vth.DeltaVISPPmV
+	}
+	scaleLoop := func(n int) int {
+		if step == vth.DeltaVISPPmV {
+			return n
+		}
+		v := (n*vth.DeltaVISPPmV + step - 1) / step
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	effMaxLoop = scaleLoop(effMaxLoop)
+
+	eff := make([]process.LoopWindow, len(windows))
+	loops := 1
+	for i, w := range windows {
+		lo := scaleLoop(w.MinLoop) - startLoops + disturbShift
+		hi := scaleLoop(w.MaxLoop) - startLoops + disturbShift
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > effMaxLoop {
+			hi = effMaxLoop
+		}
+		if hi < 1 {
+			hi = 1
+		}
+		if lo > hi {
+			lo = hi
+		}
+		eff[i] = process.LoopWindow{MinLoop: lo, MaxLoop: hi}
+		if hi > loops {
+			loops = hi
+		}
+	}
+
+	// Verify accounting: with default parameters the chip verifies
+	// state Pi in every loop 1..MaxLoop(Pi); a skip plan suppresses the
+	// first SkipVFY[i] of those.
+	verifies, skipped := 0, 0
+	maxPenalty := 1.0
+	for i, w := range eff {
+		skip := params.SkipVFY[i]
+		if skip < 0 {
+			skip = 0
+		}
+		v := w.MaxLoop - skip
+		if v < 0 {
+			v = 0
+		}
+		verifies += v
+		skipped += w.MaxLoop - v
+		safe := w.MinLoop - 1
+		if p := vth.SkipBERPenalty(skip, safe); p > maxPenalty {
+			maxPenalty = p
+		}
+	}
+
+	latency := int64(vth.TWriteSetupNs) + int64(loops)*vth.TPGMNs + int64(verifies)*vth.TVFYNs
+	if !params.IsDefault() {
+		latency += vth.TParamSetNs
+	}
+
+	// Stored reliability: parameter aggressiveness multiplies the
+	// process BER; a disturbance also degrades the margin adjustment.
+	paramPenalty := maxPenalty *
+		vth.MarginBERPenalty(params.StartMarginMV+params.FinalMarginMV) *
+		vth.ISPPStepPenalty(step)
+	if disturbShift != 0 {
+		paramPenalty *= 2.5
+	}
+	st.programmed = true
+	st.paramPenalty = paramPenalty
+
+	// Post-program measurements (Get-Features). Measurement noise is
+	// small and multiplicative.
+	noise := 1 + 0.05*c.src.NormFloat64()
+	if noise < 0.8 {
+		noise = 0.8
+	}
+	progAging := c.aging(a.Block)
+	measured := c.model.BER(a.Block, a.Layer, a.WL, process.Aging{PE: progAging.PE}) * paramPenalty * noise
+
+	res = ProgramResult{
+		LatencyNs:   latency,
+		Loops:       loops,
+		Verifies:    verifies,
+		Skipped:     skipped,
+		Windows:     eff,
+		BerEP1:      vth.BerEP1(measured),
+		MeasuredBER: measured,
+		Suspect:     disturbShift != 0,
+	}
+	c.stats.Programs++
+	c.stats.ProgramLoops += int64(loops)
+	c.stats.Verifies += int64(verifies)
+	c.stats.VerifiesSkipped += int64(skipped)
+	return res, nil
+}
+
+// EraseResult reports one block erase.
+type EraseResult struct {
+	LatencyNs int64
+	PECycles  int // the block's cycle count after this erase
+}
+
+// EraseBlock erases a block, incrementing its wear. Erasing past the
+// rated endurance still works (real chips do not hard-stop) but the
+// error characteristics keep degrading.
+func (c *Chip) EraseBlock(block int) (EraseResult, error) {
+	if block < 0 || block >= len(c.blocks) {
+		return EraseResult{}, fmt.Errorf("%w: block %d", ErrBadAddress, block)
+	}
+	blk := &c.blocks[block]
+	blk.pe++
+	blk.erased = true
+	blk.reads = 0 // erase heals accumulated read disturb
+	for i := range blk.wls {
+		blk.wls[i] = wlState{}
+	}
+	c.stats.Erases++
+	return EraseResult{LatencyNs: vth.TEraseNs, PECycles: blk.pe}, nil
+}

@@ -1,0 +1,151 @@
+package nand
+
+import (
+	"fmt"
+
+	"cubeftl/internal/vth"
+)
+
+// ReadParams are the per-operation overrides for a page read.
+type ReadParams struct {
+	// StartOffset is the read-reference offset level of the first
+	// attempt. A PS-unaware controller always starts at 0 (the default
+	// voltages); a PS-aware one starts at the h-layer's cached optimum.
+	StartOffset int
+
+	// MaxRetries bounds the retry ladder. Zero selects the chip default
+	// (enough attempts to cover every offset level).
+	MaxRetries int
+}
+
+// ReadResult reports one page read.
+type ReadResult struct {
+	LatencyNs int64
+
+	// Retries is the number of extra sense operations after the first
+	// attempt (NumRetry in the paper).
+	Retries int
+
+	// OffsetUsed is the offset level that finally decoded the page.
+	OffsetUsed int
+
+	// MaxErrors is the worst per-codeword error count of the successful
+	// attempt (available to the controller for health tracking).
+	MaxErrors int
+
+	// Data is the stored payload when the chip stores data.
+	Data []byte
+}
+
+// ReadPage reads one page of a word line, running the read-retry ladder
+// from params.StartOffset until the ECC engine decodes the page or the
+// retry budget is exhausted (in which case ErrUncorrectable is
+// returned along with the latency spent).
+//
+// The ladder visits offset levels in order of distance from the start:
+// start, start+1, start-1, start+2, ... clipped to [0, MaxReadOffsetLevel].
+// Retention drift only moves the optimum upward, so an unaware
+// controller starting at 0 pays approximately (optimum - tolerance)
+// retries while a PS-aware controller starting at the h-layer's cached
+// optimum usually pays none — the Fig 14 effect.
+func (c *Chip) ReadPage(a Address, params ReadParams) (ReadResult, error) {
+	var res ReadResult
+	if err := c.checkAddr(a); err != nil {
+		return res, err
+	}
+	st := &c.blocks[a.Block].wls[c.wlIndex(a)]
+	if !st.programmed {
+		return res, fmt.Errorf("%w: %v", ErrNotProgrammed, a)
+	}
+
+	c.blocks[a.Block].reads++
+	optimal := c.model.OptimalOffset(a.Block, a.Layer, c.aging(a.Block))
+	if c.readJitterProb > 0 && optimal > 0 && c.src.Bool(c.readJitterProb) {
+		// Momentary environmental shift of the optimum (§4.2): only
+		// meaningful once the layer has drifted at all. Mostly one
+		// level; occasionally two (a sharp temperature swing).
+		mag := 1
+		if c.src.Bool(0.35) {
+			mag = 2
+		}
+		if c.src.Bool(0.5) {
+			optimal += mag
+			if optimal > vth.MaxReadOffsetLevel {
+				optimal = vth.MaxReadOffsetLevel
+			}
+		} else {
+			optimal -= mag
+			if optimal < 1 {
+				optimal = 1
+			}
+		}
+	}
+	baseBER := c.StoredBER(a)
+
+	maxAttempts := params.MaxRetries + 1
+	if params.MaxRetries <= 0 {
+		maxAttempts = 2*vth.MaxReadOffsetLevel + 2
+	}
+
+	latency := int64(vth.TWriteSetupNs)
+	if params.StartOffset != 0 {
+		latency += vth.TParamSetNs
+	}
+
+	attempts := 0
+	for _, offset := range ladder(params.StartOffset, maxAttempts) {
+		attempts++
+		latency += vth.TReadNs
+		d := offset - optimal
+		eff := baseBER * vth.OffsetPenalty(d)
+		dec := c.eccEng.Decode(eff, c.cfg.PageBytes)
+		if dec.Correctable {
+			res.LatencyNs = latency
+			res.Retries = attempts - 1
+			res.OffsetUsed = offset
+			res.MaxErrors = dec.MaxErrors
+			if c.cfg.StoreData && st.pages != nil {
+				res.Data = st.pages[a.Page]
+			}
+			c.stats.Reads++
+			c.stats.ReadRetries += int64(res.Retries)
+			return res, nil
+		}
+	}
+	res.LatencyNs = latency
+	res.Retries = attempts - 1
+	c.stats.Reads++
+	c.stats.ReadRetries += int64(res.Retries)
+	c.stats.ReadFailures++
+	return res, fmt.Errorf("%w: %v after %d attempts", ErrUncorrectable, a, attempts)
+}
+
+// ladder enumerates up to n offset levels in order of distance from
+// start, preferring the upward direction (retention drift is upward),
+// clipped to the valid range and without duplicates.
+func ladder(start, n int) []int {
+	if start < 0 {
+		start = 0
+	}
+	if start > vth.MaxReadOffsetLevel {
+		start = vth.MaxReadOffsetLevel
+	}
+	seq := make([]int, 0, n)
+	seq = append(seq, start)
+	for d := 1; len(seq) < n && d <= vth.MaxReadOffsetLevel; d++ {
+		if up := start + d; up <= vth.MaxReadOffsetLevel && len(seq) < n {
+			seq = append(seq, up)
+		}
+		if down := start - d; down >= 0 && len(seq) < n {
+			seq = append(seq, down)
+		}
+	}
+	return seq
+}
+
+// OptimalOffsetFor exposes the chip's true optimal read offset for an
+// h-layer under its current aging — the quantity a controller discovers
+// by retrying. Characterization experiments use it as ground truth.
+func (c *Chip) OptimalOffsetFor(block, layer int) int {
+	return c.model.OptimalOffset(block, layer, c.aging(block))
+}

@@ -1,0 +1,171 @@
+// Package onfi wraps a simulated NAND die in an ONFI-style command
+// interface: Set Features / Get Features registers plus page program,
+// page read, and block erase commands. The paper's claim (§4.1.4, §5.1)
+// is that every PS-aware optimization rides on this existing vendor
+// interface — "we use the existing NAND interface with a minor code
+// change" — and this package demonstrates it: every parameter cubeFTL
+// sets and every measurement it reads fits the 4-byte feature-register
+// format, with no new commands.
+//
+// The register map occupies the vendor-specific feature address range
+// (0x80-0xFF in ONFI 4.1).
+package onfi
+
+import (
+	"errors"
+	"fmt"
+
+	"cubeftl/internal/nand"
+	"cubeftl/internal/vth"
+)
+
+// FeatureAddr is an ONFI feature address.
+type FeatureAddr uint8
+
+// Vendor-specific feature registers used by the PS-aware FTL.
+const (
+	// FeatVfySkipP1 .. +6: per-state verify-skip counts (P1..P7), one
+	// byte each in sub-register 0.
+	FeatVfySkipP1 FeatureAddr = 0x90
+
+	// FeatProgramWindow: sub-register 0 = V_Start margin, 1 = V_Final
+	// margin (both in MarginQuantumMV units), 2 = ISPP step override
+	// (in 10 mV units, 0 = default).
+	FeatProgramWindow FeatureAddr = 0x98
+
+	// FeatReadOffset: sub-register 0 = read-retry start level.
+	FeatReadOffset FeatureAddr = 0x99
+
+	// Measurement (get-only) registers, refreshed by each program:
+	// FeatObservedLoopsP1 .. +6: sub-register 0 = window min loop,
+	// 1 = window max loop.
+	FeatObservedLoopsP1 FeatureAddr = 0xA0
+
+	// FeatHealth: sub-registers 0..1 = BER_EP1 as a 16-bit fixed-point
+	// count of errors per million bits, 2..3 = overall measured BER in
+	// the same encoding. This is the Get-Features status check of
+	// §4.1.4.
+	FeatHealth FeatureAddr = 0xA8
+)
+
+// Feature is the ONFI 4-byte feature-parameter format.
+type Feature [4]byte
+
+// Errors.
+var (
+	ErrUnknownFeature = errors.New("onfi: unsupported feature address")
+	ErrReadOnly       = errors.New("onfi: feature is read-only")
+)
+
+// Device is a NAND die behind the command interface.
+type Device struct {
+	chip *nand.Chip
+
+	skips   [vth.ProgramStates]uint8
+	window  Feature
+	readOff uint8
+
+	observed [vth.ProgramStates]nandWindow
+	health   Feature
+}
+
+type nandWindow struct{ lo, hi uint8 }
+
+// Attach wraps a chip.
+func Attach(chip *nand.Chip) *Device { return &Device{chip: chip} }
+
+// SetFeatures writes a parameter register (ONFI EFh command).
+func (d *Device) SetFeatures(addr FeatureAddr, val Feature) error {
+	switch {
+	case addr >= FeatVfySkipP1 && addr < FeatVfySkipP1+vth.ProgramStates:
+		d.skips[addr-FeatVfySkipP1] = val[0]
+		return nil
+	case addr == FeatProgramWindow:
+		d.window = val
+		return nil
+	case addr == FeatReadOffset:
+		d.readOff = val[0]
+		return nil
+	case addr >= FeatObservedLoopsP1 && addr < FeatObservedLoopsP1+vth.ProgramStates,
+		addr == FeatHealth:
+		return fmt.Errorf("%w: %#x", ErrReadOnly, addr)
+	default:
+		return fmt.Errorf("%w: %#x", ErrUnknownFeature, addr)
+	}
+}
+
+// GetFeatures reads a register (ONFI EEh command).
+func (d *Device) GetFeatures(addr FeatureAddr) (Feature, error) {
+	switch {
+	case addr >= FeatVfySkipP1 && addr < FeatVfySkipP1+vth.ProgramStates:
+		return Feature{d.skips[addr-FeatVfySkipP1]}, nil
+	case addr == FeatProgramWindow:
+		return d.window, nil
+	case addr == FeatReadOffset:
+		return Feature{d.readOff}, nil
+	case addr >= FeatObservedLoopsP1 && addr < FeatObservedLoopsP1+vth.ProgramStates:
+		w := d.observed[addr-FeatObservedLoopsP1]
+		return Feature{w.lo, w.hi}, nil
+	case addr == FeatHealth:
+		return d.health, nil
+	default:
+		return Feature{}, fmt.Errorf("%w: %#x", ErrUnknownFeature, addr)
+	}
+}
+
+// params materializes the program parameter registers.
+func (d *Device) params() nand.ProgramParams {
+	var p nand.ProgramParams
+	for i, s := range d.skips {
+		p.SkipVFY[i] = int(s)
+	}
+	p.StartMarginMV = int(d.window[0]) * vth.MarginQuantumMV
+	p.FinalMarginMV = int(d.window[1]) * vth.MarginQuantumMV
+	p.ISPPStepMV = int(d.window[2]) * 10
+	return p
+}
+
+// berToPPM encodes a BER as errors per million bits, saturating.
+func berToPPM(ber float64) uint16 {
+	v := ber * 1e6
+	if v > 65535 {
+		v = 65535
+	}
+	return uint16(v)
+}
+
+// PPMToBER decodes a FeatHealth register pair.
+func PPMToBER(lo, hi byte) float64 {
+	return float64(uint16(lo)|uint16(hi)<<8) / 1e6
+}
+
+// Program issues a page-program command with the current parameter
+// registers and refreshes the measurement registers.
+func (d *Device) Program(a nand.Address, pages [][]byte) (nand.ProgramResult, error) {
+	res, err := d.chip.ProgramWL(a, pages, d.params())
+	if err != nil {
+		return res, err
+	}
+	for i, w := range res.Windows {
+		d.observed[i] = nandWindow{lo: uint8(w.MinLoop), hi: uint8(w.MaxLoop)}
+	}
+	ep1 := berToPPM(res.BerEP1)
+	ber := berToPPM(res.MeasuredBER)
+	d.health = Feature{byte(ep1), byte(ep1 >> 8), byte(ber), byte(ber >> 8)}
+	return res, nil
+}
+
+// Read issues a page-read command starting at the FeatReadOffset level.
+func (d *Device) Read(a nand.Address) (nand.ReadResult, error) {
+	return d.chip.ReadPage(a, nand.ReadParams{StartOffset: int(d.readOff)})
+}
+
+// Erase issues a block-erase command.
+func (d *Device) Erase(block int) (nand.EraseResult, error) {
+	return d.chip.EraseBlock(block)
+}
+
+// ResetFeatures restores the power-on defaults.
+func (d *Device) ResetFeatures() {
+	*d = Device{chip: d.chip}
+}

@@ -1,0 +1,174 @@
+package onfi
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cubeftl/internal/nand"
+	"cubeftl/internal/vth"
+)
+
+func testDevice() *Device {
+	cfg := nand.DefaultConfig()
+	cfg.Process.BlocksPerChip = 8
+	return Attach(nand.New(cfg))
+}
+
+func TestFeatureRegisters(t *testing.T) {
+	d := testDevice()
+	// Skip registers.
+	for i := 0; i < vth.ProgramStates; i++ {
+		addr := FeatVfySkipP1 + FeatureAddr(i)
+		if err := d.SetFeatures(addr, Feature{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.GetFeatures(addr)
+		if err != nil || got[0] != byte(i+1) {
+			t.Fatalf("skip register %d round trip: %v %v", i, got, err)
+		}
+	}
+	// Window register.
+	if err := d.SetFeatures(FeatProgramWindow, Feature{9, 7, 14, 0}); err != nil {
+		t.Fatal(err)
+	}
+	p := d.params()
+	if p.StartMarginMV != 180 || p.FinalMarginMV != 140 || p.ISPPStepMV != 140 {
+		t.Fatalf("params = %+v", p)
+	}
+	// Read offset.
+	if err := d.SetFeatures(FeatReadOffset, Feature{3}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.GetFeatures(FeatReadOffset); got[0] != 3 {
+		t.Fatal("read offset register")
+	}
+}
+
+func TestFeatureErrors(t *testing.T) {
+	d := testDevice()
+	if err := d.SetFeatures(0x10, Feature{}); !errors.Is(err, ErrUnknownFeature) {
+		t.Errorf("unknown address: %v", err)
+	}
+	if _, err := d.GetFeatures(0x10); !errors.Is(err, ErrUnknownFeature) {
+		t.Errorf("unknown get: %v", err)
+	}
+	if err := d.SetFeatures(FeatHealth, Feature{}); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("health writable: %v", err)
+	}
+	if err := d.SetFeatures(FeatObservedLoopsP1, Feature{}); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("observed windows writable: %v", err)
+	}
+}
+
+// The full PS-aware leader/follower flow expressed purely as ONFI
+// commands: program the leader with defaults, read the measurement
+// registers, set the follower parameters, program the follower faster.
+func TestLeaderFollowerOverONFI(t *testing.T) {
+	d := testDevice()
+	leader, err := d.Program(nand.Address{Block: 1, Layer: 20, WL: 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Read the observed loop windows and the health registers.
+	var skips [vth.ProgramStates]int
+	for i := 0; i < vth.ProgramStates; i++ {
+		w, err := d.GetFeatures(FeatObservedLoopsP1 + FeatureAddr(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(w[0]) != leader.Windows[i].MinLoop || int(w[1]) != leader.Windows[i].MaxLoop {
+			t.Fatalf("window register %d = %v, chip says %+v", i, w, leader.Windows[i])
+		}
+		skips[i] = int(w[0]) - 1
+	}
+	h, err := d.GetFeatures(FeatHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1 := PPMToBER(h[0], h[1])
+	if math.Abs(ep1-leader.BerEP1) > 1e-6 { // one-ppm register quantization
+		t.Fatalf("health register BER_EP1 %v vs chip %v", ep1, leader.BerEP1)
+	}
+
+	// Program the follower with the derived registers.
+	sm := vth.SpareMargin(ep1, vth.BerEP1(1e-4))
+	total := vth.SMToMarginMV(sm)
+	startMV, finalMV := vth.SplitMargin(total)
+	startLoops := vth.LoopsSaved(startMV)
+	for i := 0; i < vth.ProgramStates; i++ {
+		skip := skips[i] - startLoops
+		if skip < 0 {
+			skip = 0
+		}
+		if err := d.SetFeatures(FeatVfySkipP1+FeatureAddr(i), Feature{byte(skip)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.SetFeatures(FeatProgramWindow, Feature{
+		byte(startMV / vth.MarginQuantumMV), byte(finalMV / vth.MarginQuantumMV), 0, 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	follower, err := d.Program(nand.Address{Block: 1, Layer: 20, WL: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := 1 - float64(follower.LatencyNs)/float64(leader.LatencyNs)
+	if red < 0.15 {
+		t.Fatalf("ONFI-driven follower reduction = %.3f", red)
+	}
+}
+
+func TestReadAndEraseCommands(t *testing.T) {
+	d := testDevice()
+	a := nand.Address{Block: 2, Layer: 10}
+	if _, err := d.Program(a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetFeatures(FeatReadOffset, Feature{0}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Read(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Retries != 0 {
+		t.Errorf("fresh ONFI read retried %d times", r.Retries)
+	}
+	if _, err := d.Erase(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(a); err == nil {
+		t.Fatal("read after erase succeeded")
+	}
+}
+
+func TestResetFeatures(t *testing.T) {
+	d := testDevice()
+	if err := d.SetFeatures(FeatReadOffset, Feature{5}); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetFeatures()
+	if got, _ := d.GetFeatures(FeatReadOffset); got[0] != 0 {
+		t.Error("reset did not clear registers")
+	}
+	if !d.params().IsDefault() {
+		t.Error("reset left non-default params")
+	}
+}
+
+func TestBerPPMEncoding(t *testing.T) {
+	for _, ber := range []float64{0, 1e-6, 1e-4, 5e-3, 0.2} {
+		ppm := berToPPM(ber)
+		dec := PPMToBER(byte(ppm), byte(ppm>>8))
+		want := ber
+		if want > 0.065535 {
+			want = 0.065535 // saturation
+		}
+		if math.Abs(dec-want) > 1e-6 {
+			t.Errorf("ber %v -> ppm %d -> %v", ber, ppm, dec)
+		}
+	}
+}

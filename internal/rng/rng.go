@@ -1,0 +1,226 @@
+// Package rng provides deterministic, hierarchically seedable random
+// number generation for the simulator.
+//
+// Every model component (a chip, a block, a word line, a workload stream)
+// draws from its own Source derived from a parent seed and a stable label,
+// so adding randomness consumers in one place never perturbs the stream
+// seen elsewhere. All experiments in this repository are reproducible
+// bit-for-bit from a single root seed.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic pseudo-random source based on SplitMix64.
+// It is small (one word of state), fast, and has no shared state: each
+// Source is independent and safe to use from a single goroutine.
+type Source struct {
+	state uint64
+
+	// Cached second Gaussian variate from the polar method.
+	haveGauss bool
+	gauss     float64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// splitmix64 advances the state and returns the next 64-bit value.
+func (s *Source) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Source) Uint64() uint64 { return s.next() }
+
+// Int63 returns a non-negative int64.
+func (s *Source) Int63() int64 { return int64(s.next() >> 1) }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's method
+// (multiply-shift with rejection to remove modulo bias).
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	threshold := -n % n
+	for {
+		hi, lo := bits.Mul64(s.next(), n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (mean 0, stddev 1) using
+// the Marsaglia polar method.
+func (s *Source) NormFloat64() float64 {
+	if s.haveGauss {
+		s.haveGauss = false
+		return s.gauss
+	}
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(q) / q)
+		s.gauss = v * f
+		s.haveGauss = true
+		return u * f
+	}
+}
+
+// Gaussian returns a normal variate with the given mean and stddev.
+func (s *Source) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*s.NormFloat64()
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (s *Source) ExpFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Exponential returns an exponential variate with the given mean.
+func (s *Source) Exponential(mean float64) float64 {
+	return mean * s.ExpFloat64()
+}
+
+// Binomial returns the number of successes among n Bernoulli(p) trials.
+// Exact inversion is used for small n·p; a normal approximation (clamped
+// to [0, n]) is used for large n to keep the simulator fast when sampling
+// bit-error counts over millions of cells.
+func (s *Source) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	mean := float64(n) * p
+	if n <= 64 {
+		// Direct simulation.
+		k := 0
+		for i := 0; i < n; i++ {
+			if s.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	if mean < 32 {
+		// Poisson-style inversion on the binomial CDF.
+		q := math.Pow(1-p, float64(n))
+		u := s.Float64()
+		k := 0
+		cdf := q
+		for u > cdf && k < n {
+			k++
+			q *= (float64(n-k+1) / float64(k)) * (p / (1 - p))
+			cdf += q
+		}
+		return k
+	}
+	// Normal approximation with continuity correction.
+	sd := math.Sqrt(mean * (1 - p))
+	v := math.Round(s.Gaussian(mean, sd))
+	if v < 0 {
+		v = 0
+	}
+	if v > float64(n) {
+		v = float64(n)
+	}
+	return int(v)
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// fnv1a64 hashes a label to derive child seeds.
+func fnv1a64(data string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(data); i++ {
+		h ^= uint64(data[i])
+		h *= prime
+	}
+	return h
+}
+
+// Derive returns a new independent Source whose seed is a deterministic
+// function of this source's seed and the label. Derive does not consume
+// randomness from the parent.
+func (s *Source) Derive(label string) *Source {
+	return New(mix(s.state, fnv1a64(label)))
+}
+
+// DeriveN returns a child source keyed by a label and an index, e.g. one
+// source per block: parent.DeriveN("block", blockID).
+func (s *Source) DeriveN(label string, n uint64) *Source {
+	return New(mix(mix(s.state, fnv1a64(label)), n*0x9e3779b97f4a7c15+1))
+}
+
+// mix combines two 64-bit values into a well-distributed seed.
+func mix(a, b uint64) uint64 {
+	z := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,218 @@
+// Package sim implements the discrete-event simulation engine underneath
+// the SSD model: a virtual clock, an event calendar, and FIFO resources
+// (buses, chip planes) with utilization accounting.
+//
+// The engine is single-threaded and deterministic: events scheduled for
+// the same instant fire in scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time = int64
+
+// Common durations in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among same-instant events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	fired  uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics:
+// it always indicates a modeling bug.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn d nanoseconds from now. Negative d is treated as zero.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Step fires the next event, advancing the clock. It reports whether an
+// event was available.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the calendar is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then sets the clock
+// to the deadline (if it has not already passed it).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunWhile fires events while cond() is true and events remain.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+// Resource is a unit-capacity FIFO server (a flash bus, a chip). Grants
+// are issued in request order; utilization (busy time) is accounted for
+// reporting bus/chip occupancy.
+type Resource struct {
+	eng      *Engine
+	name     string
+	busy     bool
+	waiters  []func()
+	busyFrom Time
+	busyTot  Time
+	grants   uint64
+}
+
+// NewResource returns an idle resource attached to the engine.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire requests the resource. grant runs (synchronously if the
+// resource is idle, otherwise when it is released to this waiter) with
+// the resource held; the holder must call Release exactly once.
+func (r *Resource) Acquire(grant func()) {
+	if !r.busy {
+		r.take()
+		grant()
+		return
+	}
+	r.waiters = append(r.waiters, grant)
+}
+
+func (r *Resource) take() {
+	r.busy = true
+	r.busyFrom = r.eng.Now()
+	r.grants++
+}
+
+// Release frees the resource and hands it to the next waiter, if any.
+// Releasing an idle resource panics.
+func (r *Resource) Release() {
+	if !r.busy {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	r.busy = false
+	r.busyTot += r.eng.Now() - r.busyFrom
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.take()
+		next()
+	}
+}
+
+// Hold acquires the resource, keeps it for d, then releases it and runs
+// then (which may be nil). This is the common "use device for a fixed
+// service time" pattern.
+func (r *Resource) Hold(d Time, then func()) {
+	r.Acquire(func() {
+		r.eng.After(d, func() {
+			r.Release()
+			if then != nil {
+				then()
+			}
+		})
+	})
+}
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen returns the number of waiters.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Grants returns how many times the resource has been granted.
+func (r *Resource) Grants() uint64 { return r.grants }
+
+// BusyTime returns cumulative held time (including the current hold up
+// to now).
+func (r *Resource) BusyTime() Time {
+	t := r.busyTot
+	if r.busy {
+		t += r.eng.Now() - r.busyFrom
+	}
+	return t
+}
+
+// Utilization returns BusyTime divided by elapsed simulated time.
+func (r *Resource) Utilization() float64 {
+	if r.eng.Now() == 0 {
+		return 0
+	}
+	return float64(r.BusyTime()) / float64(r.eng.Now())
+}

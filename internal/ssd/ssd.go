@@ -1,0 +1,351 @@
+// Package ssd assembles NAND chips into a timed storage device: buses,
+// per-chip command serialization, and asynchronous read/program/erase
+// operations driven by the discrete-event engine. The paper's target
+// configuration is 2 buses x 4 3D TLC chips (§6.1).
+//
+// The device layer knows nothing about mapping or policies — that is
+// the FTL's job (packages ftl and core). It provides exactly what an
+// SSD controller's flash interface layer provides: issue an operation
+// against a chip, share the bus for transfers, get a completion.
+package ssd
+
+import (
+	"fmt"
+
+	"cubeftl/internal/nand"
+	"cubeftl/internal/sim"
+	"cubeftl/internal/vth"
+)
+
+// Config describes the device organization.
+type Config struct {
+	Buses       int
+	ChipsPerBus int
+	Chip        nand.Config // template; each chip derives a unique seed
+	Seed        uint64
+
+	// PlanesPerChip splits each die into independently operating
+	// planes (blocks are interleaved across planes by block number),
+	// letting operations on different planes of one chip overlap.
+	// Zero or one selects the paper's single-plane model.
+	PlanesPerChip int
+
+	// SuspendOps enables program/erase suspend-resume: long chip
+	// operations hold the chip in ISPP-loop-sized segments, letting
+	// queued reads interleave instead of waiting out a full ~700 us
+	// program or ~3.5 ms erase. This is the paper's §8 direction of
+	// building SSDs with deterministic read latency on top of the
+	// process-similarity work, and matches the suspend capability of
+	// modern 3D NAND parts.
+	SuspendOps bool
+}
+
+// DefaultConfig returns the paper's 2-bus x 4-chip device.
+func DefaultConfig() Config {
+	return Config{
+		Buses:       2,
+		ChipsPerBus: 4,
+		Chip:        nand.DefaultConfig(),
+		Seed:        1,
+	}
+}
+
+// Geometry summarizes the device's physical page space.
+type Geometry struct {
+	Chips         int
+	BlocksPerChip int
+	Layers        int
+	WLsPerLayer   int
+	PageBytes     int
+}
+
+// WLsPerBlock returns word lines per block.
+func (g Geometry) WLsPerBlock() int { return g.Layers * g.WLsPerLayer }
+
+// PagesPerBlock returns pages per block.
+func (g Geometry) PagesPerBlock() int { return g.WLsPerBlock() * vth.PagesPerWL }
+
+// PhysPages returns the device's total physical page count.
+func (g Geometry) PhysPages() int {
+	return g.Chips * g.BlocksPerChip * g.PagesPerBlock()
+}
+
+// Bytes returns the raw capacity in bytes.
+func (g Geometry) Bytes() int64 {
+	return int64(g.PhysPages()) * int64(g.PageBytes)
+}
+
+// PPN is a dense physical page number across the whole device.
+type PPN int32
+
+// UnmappedPPN marks an absent translation.
+const UnmappedPPN PPN = -1
+
+// EncodePPN packs a physical location. wlIdx is layer*WLsPerLayer+wl.
+func (g Geometry) EncodePPN(chip, block, wlIdx, page int) PPN {
+	return PPN(((chip*g.BlocksPerChip+block)*g.WLsPerBlock()+wlIdx)*vth.PagesPerWL + page)
+}
+
+// DecodePPN unpacks a physical page number.
+func (g Geometry) DecodePPN(p PPN) (chip, block, layer, wl, page int) {
+	v := int(p)
+	page = v % vth.PagesPerWL
+	v /= vth.PagesPerWL
+	wlIdx := v % g.WLsPerBlock()
+	v /= g.WLsPerBlock()
+	block = v % g.BlocksPerChip
+	chip = v / g.BlocksPerChip
+	layer = wlIdx / g.WLsPerLayer
+	wl = wlIdx % g.WLsPerLayer
+	return
+}
+
+// ChipHandle pairs a NAND die with its per-plane command-serialization
+// resources and the bus it shares.
+type ChipHandle struct {
+	ID     int
+	NAND   *nand.Chip
+	planes []*sim.Resource
+	bus    *sim.Resource
+}
+
+// resFor returns the plane resource serving a block.
+func (ch *ChipHandle) resFor(block int) *sim.Resource {
+	return ch.planes[block%len(ch.planes)]
+}
+
+// Device is the assembled SSD back end.
+type Device struct {
+	eng   *sim.Engine
+	cfg   Config
+	buses []*sim.Resource
+	chips []*ChipHandle
+}
+
+// New builds a device on the given engine.
+func New(eng *sim.Engine, cfg Config) *Device {
+	if cfg.Buses <= 0 || cfg.ChipsPerBus <= 0 {
+		panic(fmt.Sprintf("ssd: invalid organization %+v", cfg))
+	}
+	d := &Device{eng: eng, cfg: cfg}
+	d.buses = make([]*sim.Resource, cfg.Buses)
+	for b := range d.buses {
+		d.buses[b] = sim.NewResource(eng, fmt.Sprintf("bus%d", b))
+	}
+	planes := cfg.PlanesPerChip
+	if planes < 1 {
+		planes = 1
+	}
+	n := cfg.Buses * cfg.ChipsPerBus
+	d.chips = make([]*ChipHandle, n)
+	for i := 0; i < n; i++ {
+		chipCfg := cfg.Chip
+		chipCfg.Process.Seed = cfg.Seed*1_000_003 + uint64(i)*7919
+		ch := &ChipHandle{
+			ID:   i,
+			NAND: nand.New(chipCfg),
+			bus:  d.buses[i%cfg.Buses],
+		}
+		for p := 0; p < planes; p++ {
+			ch.planes = append(ch.planes, sim.NewResource(eng, fmt.Sprintf("chip%d/plane%d", i, p)))
+		}
+		d.chips[i] = ch
+	}
+	return d
+}
+
+// Engine returns the simulation engine the device runs on.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Chips returns the number of chips.
+func (d *Device) Chips() int { return len(d.chips) }
+
+// Chip returns a chip handle.
+func (d *Device) Chip(i int) *ChipHandle { return d.chips[i] }
+
+// Geometry returns the device's page-space geometry.
+func (d *Device) Geometry() Geometry {
+	p := d.cfg.Chip.Process
+	return Geometry{
+		Chips:         len(d.chips),
+		BlocksPerChip: p.BlocksPerChip,
+		Layers:        p.Layers,
+		WLsPerLayer:   p.WLsPerLayer,
+		PageBytes:     d.cfg.Chip.PageBytes,
+	}
+}
+
+// PreAge puts every block of every chip at the given wear and pins the
+// retention age seen by reads — the paper's pre-aged evaluation states.
+func (d *Device) PreAge(pe int, retentionMonths float64) {
+	for _, ch := range d.chips {
+		for b := 0; b < ch.NAND.Blocks(); b++ {
+			ch.NAND.SetPECycles(b, pe)
+		}
+		ch.NAND.SetFixedRetention(retentionMonths)
+	}
+}
+
+// SetReadJitterProb applies a per-read optimal-offset jitter probability
+// to every chip (environmental fluctuation; see nand.Chip).
+func (d *Device) SetReadJitterProb(p float64) {
+	for _, ch := range d.chips {
+		ch.NAND.SetReadJitterProb(p)
+	}
+}
+
+// SetDisturbProb applies a per-program environmental-disturbance
+// probability to every chip (§4.1.4; see nand.Chip).
+func (d *Device) SetDisturbProb(p float64) {
+	for _, ch := range d.chips {
+		ch.NAND.SetDisturbProb(p)
+	}
+}
+
+// Read performs a timed page read: the chip is held for the sense (and
+// any retries), then the bus for the data transfer. done receives the
+// NAND result; on an uncorrectable page err is non-nil and the latency
+// in res still reflects the time spent.
+func (d *Device) Read(chip int, a nand.Address, p nand.ReadParams, done func(res nand.ReadResult, err error)) {
+	ch := d.chips[chip]
+	plane := ch.resFor(a.Block)
+	plane.Acquire(func() {
+		res, err := ch.NAND.ReadPage(a, p)
+		d.eng.After(res.LatencyNs, func() {
+			plane.Release()
+			if err != nil {
+				done(res, err)
+				return
+			}
+			ch.bus.Hold(vth.TXferPageNs, func() { done(res, nil) })
+		})
+	})
+}
+
+// Program performs a timed one-shot word-line program: the bus is held
+// for the three page transfers, then the chip for the ISPP operation.
+// With SuspendOps the chip is held one ISPP loop at a time, so queued
+// reads interleave between loops (program suspend-resume).
+func (d *Device) Program(chip int, a nand.Address, pages [][]byte, p nand.ProgramParams, done func(res nand.ProgramResult, err error)) {
+	ch := d.chips[chip]
+	plane := ch.resFor(a.Block)
+	ch.bus.Hold(int64(vth.PagesPerWL)*vth.TXferPageNs, func() {
+		plane.Acquire(func() {
+			res, err := ch.NAND.ProgramWL(a, pages, p)
+			if err != nil {
+				plane.Release()
+				done(res, err)
+				return
+			}
+			segments := 1
+			if d.cfg.SuspendOps && res.Loops > 1 {
+				segments = res.Loops
+			}
+			d.holdSegmentedAcquired(plane, res.LatencyNs, segments, func() { done(res, nil) })
+		})
+	})
+}
+
+// Erase performs a timed block erase. With SuspendOps the ~3.5 ms
+// operation is suspendable at eight points.
+func (d *Device) Erase(chip, block int, done func(res nand.EraseResult, err error)) {
+	ch := d.chips[chip]
+	plane := ch.resFor(block)
+	plane.Acquire(func() {
+		res, err := ch.NAND.EraseBlock(block)
+		if err != nil {
+			plane.Release()
+			done(res, err)
+			return
+		}
+		segments := 1
+		if d.cfg.SuspendOps {
+			segments = 8
+		}
+		d.holdSegmentedAcquired(plane, res.LatencyNs, segments, func() { done(res, nil) })
+	})
+}
+
+// holdSegmentedAcquired occupies an already-acquired chip for total
+// nanoseconds in the given number of segments, releasing and
+// re-acquiring between segments so queued operations (reads, in
+// particular) can interleave — the suspend-resume point. The NAND state
+// mutation has already happened at acquisition, preserving FIFO
+// ordering of operations against the chip.
+func (d *Device) holdSegmentedAcquired(res *sim.Resource, total int64, segments int, then func()) {
+	if segments <= 1 {
+		d.eng.After(total, func() {
+			res.Release()
+			then()
+		})
+		return
+	}
+	seg := total / int64(segments)
+	rem := total - seg*int64(segments-1) // last segment absorbs rounding
+	i := 0
+	var step func()
+	step = func() {
+		i++
+		dur := seg
+		if i == segments {
+			dur = rem
+		}
+		d.eng.After(dur, func() {
+			res.Release()
+			if i >= segments {
+				then()
+				return
+			}
+			res.Acquire(func() { step() })
+		})
+	}
+	step()
+}
+
+// BusUtilization reports the mean utilization across buses.
+func (d *Device) BusUtilization() float64 {
+	if len(d.buses) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range d.buses {
+		sum += b.Utilization()
+	}
+	return sum / float64(len(d.buses))
+}
+
+// ChipUtilization reports the mean utilization across chips (averaged
+// over planes).
+func (d *Device) ChipUtilization() float64 {
+	sum, n := 0.0, 0
+	for _, c := range d.chips {
+		for _, p := range c.planes {
+			sum += p.Utilization()
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// QueueDepth returns the number of operations waiting on the chip
+// across its planes.
+func (ch *ChipHandle) QueueDepth() int {
+	n := 0
+	for _, p := range ch.planes {
+		n += p.QueueLen()
+	}
+	return n
+}
+
+// Busy reports whether any plane of the chip is mid-operation.
+func (ch *ChipHandle) Busy() bool {
+	for _, p := range ch.planes {
+		if p.Busy() {
+			return true
+		}
+	}
+	return false
+}

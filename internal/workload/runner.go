@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"cubeftl/internal/ftl"
+	"cubeftl/internal/metrics"
+	"cubeftl/internal/sim"
+)
+
+// RunConfig shapes a closed-loop execution.
+type RunConfig struct {
+	// Requests is how many host requests to complete.
+	Requests int
+	// QueueDepth is the number of outstanding host requests.
+	QueueDepth int
+}
+
+// DefaultRunConfig returns a moderate closed-loop setup.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{Requests: 20000, QueueDepth: 32}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Name      string
+	Requests  int64
+	ElapsedNs sim.Time
+	ReadLat   *metrics.Hist // per-request read latency
+	WriteLat  *metrics.Hist // per-request write latency
+}
+
+// IOPS is the run's completed requests per simulated second.
+func (r Result) IOPS() float64 { return metrics.IOPS(r.Requests, r.ElapsedNs) }
+
+// Run drives gen against ctrl with a closed-loop queue until cfg.Requests
+// complete, then drains the controller. It returns per-request latency
+// histograms and the throughput window.
+func Run(ctrl *ftl.Controller, gen Generator, cfg RunConfig) Result {
+	if cfg.Requests <= 0 || cfg.QueueDepth <= 0 {
+		cfg = DefaultRunConfig()
+	}
+	eng := ctrl.Engine()
+	res := Result{
+		Name:     gen.Name(),
+		ReadLat:  metrics.NewHist(0),
+		WriteLat: metrics.NewHist(0),
+	}
+	start := eng.Now()
+	var lastDone sim.Time
+
+	issued, completed, outstanding := 0, 0, 0
+	var gateUntil sim.Time // stream-wide pause (burst boundaries)
+	gateArmed := false
+	var pump func()
+	complete := func(r Request, submit sim.Time) {
+		lat := eng.Now() - submit
+		if r.Op == Read {
+			res.ReadLat.Add(lat)
+		} else {
+			res.WriteLat.Add(lat)
+		}
+		lastDone = eng.Now()
+		completed++
+		outstanding--
+		pump()
+	}
+	issue := func(r Request) {
+		submit := eng.Now()
+		remaining := r.Pages
+		for p := 0; p < r.Pages; p++ {
+			lpn := ftl.LPN(r.LPN + int64(p))
+			pageDone := func() {
+				remaining--
+				if remaining == 0 {
+					complete(r, submit)
+				}
+			}
+			if r.Op == Read {
+				ctrl.Read(lpn, pageDone)
+			} else {
+				ctrl.Write(lpn, pageDone)
+			}
+		}
+	}
+	pump = func() {
+		if eng.Now() < gateUntil {
+			// The stream is paused between bursts; resume issuing when
+			// the gate opens.
+			if !gateArmed {
+				gateArmed = true
+				eng.Schedule(gateUntil, func() {
+					gateArmed = false
+					pump()
+				})
+			}
+			return
+		}
+		for outstanding < cfg.QueueDepth && issued < cfg.Requests {
+			r := gen.Next()
+			issued++
+			outstanding++
+			issue(r)
+			if r.ThinkNs > 0 {
+				// A burst ended: gate the whole stream.
+				gateUntil = eng.Now() + r.ThinkNs
+				pump()
+				return
+			}
+		}
+	}
+	pump()
+	eng.RunWhile(func() bool { return completed < cfg.Requests })
+	res.Requests = int64(completed)
+	res.ElapsedNs = lastDone - start
+	// Quiesce buffered state so back-to-back runs start clean.
+	eng.RunWhile(func() bool { return !ctrl.Drained() })
+	return res
+}
+
+// Prefill sequentially writes pages [0, n) through the controller so a
+// measurement run starts from a mapped, steady-state device, then
+// drains.
+func Prefill(ctrl *ftl.Controller, n int64) {
+	eng := ctrl.Engine()
+	const qd = 64
+	var issued, completed int64
+	outstanding := 0
+	var pump func()
+	pump = func() {
+		for outstanding < qd && issued < n {
+			lpn := ftl.LPN(issued)
+			issued++
+			outstanding++
+			ctrl.Write(lpn, func() {
+				completed++
+				outstanding--
+				pump()
+			})
+		}
+	}
+	pump()
+	eng.RunWhile(func() bool { return completed < n })
+	eng.RunWhile(func() bool { return !ctrl.Drained() })
+}

@@ -1,0 +1,303 @@
+// Package workload generates the six I/O request streams of the paper's
+// evaluation (§6.1): Mail, Web, Proxy and OLTP modeled on the Filebench
+// personalities, and Rocks and Mongo modeled on YCSB workload A
+// (update-heavy, 50/50 reads and writes, zipfian keys) over RocksDB and
+// MongoDB storage engines.
+//
+// The real applications are substituted by synthetic generators that
+// reproduce the block-level stream statistics the FTL reacts to: the
+// read/write mix, request sizes, access skew, sequential runs (LSM
+// compaction), and burstiness (which drives the write-buffer utilization
+// the WAM thresholds on). Generators are deterministic from a seed.
+package workload
+
+import (
+	"fmt"
+
+	"cubeftl/internal/rng"
+	"cubeftl/internal/sim"
+)
+
+// Op is a request direction.
+type Op int
+
+// Request operations.
+const (
+	Read Op = iota
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Request is one host I/O: an operation over Pages consecutive 16 KB
+// pages starting at LPN, issued ThinkNs after the previous request of
+// this stream completed.
+type Request struct {
+	Op      Op
+	LPN     int64
+	Pages   int
+	ThinkNs sim.Time
+}
+
+// Generator produces a request stream.
+type Generator interface {
+	Name() string
+	Next() Request
+}
+
+// Profile is a parameterized synthetic workload.
+type Profile struct {
+	Name string
+
+	// ReadFraction is the probability a request is a read.
+	ReadFraction float64
+
+	// SizesPages and SizeWeights give the request-size distribution.
+	SizesPages  []int
+	SizeWeights []float64
+
+	// Theta is the zipfian skew over the footprint (0 = uniform).
+	Theta float64
+
+	// FootprintFrac limits the touched logical space.
+	FootprintFrac float64
+
+	// SeqWriteFrac is the probability a write continues a sequential
+	// run (log appends, LSM compaction output).
+	SeqWriteFrac float64
+
+	// Burst shapes arrival bursts: BurstLen requests issued back to
+	// back, then a pause of BurstPauseNs. Zero BurstLen disables
+	// pausing (saturation stream).
+	BurstLen     int
+	BurstPauseNs sim.Time
+}
+
+// The six evaluation workloads.
+var (
+	// Mail emulates a mail server (Filebench varmail): ~50/50 small
+	// reads and fsync-heavy writes over a modest hot set.
+	Mail = Profile{
+		Name:          "Mail",
+		ReadFraction:  0.50,
+		SizesPages:    []int{1, 2},
+		SizeWeights:   []float64{0.8, 0.2},
+		Theta:         0.9,
+		FootprintFrac: 0.5,
+		SeqWriteFrac:  0.1,
+		BurstLen:      64,
+		BurstPauseNs:  600 * sim.Microsecond,
+	}
+	// Web emulates a web server (Filebench webserver): read-dominated,
+	// highly skewed, with light log appends.
+	Web = Profile{
+		Name:          "Web",
+		ReadFraction:  0.82,
+		SizesPages:    []int{1, 2},
+		SizeWeights:   []float64{0.7, 0.3},
+		Theta:         0.90,
+		FootprintFrac: 0.7,
+		SeqWriteFrac:  0.8, // the few writes are log appends
+		BurstLen:      0,
+	}
+	// Proxy emulates a proxy cache (Filebench webproxy): mostly reads
+	// with a steady stream of small cache-fill writes.
+	Proxy = Profile{
+		Name:          "Proxy",
+		ReadFraction:  0.88,
+		SizesPages:    []int{1, 2, 4},
+		SizeWeights:   []float64{0.5, 0.3, 0.2},
+		Theta:         0.99,
+		FootprintFrac: 0.8,
+		SeqWriteFrac:  0.2,
+		BurstLen:      0,
+	}
+	// OLTP emulates an intensive database workload (Filebench oltp):
+	// the most write-intensive stream — small random updates plus log
+	// appends, arriving in transaction bursts.
+	OLTP = Profile{
+		Name:          "OLTP",
+		ReadFraction:  0.20,
+		SizesPages:    []int{1},
+		SizeWeights:   []float64{1},
+		Theta:         0.8,
+		FootprintFrac: 0.6,
+		SeqWriteFrac:  0.3,
+		BurstLen:      128,
+		BurstPauseNs:  400 * sim.Microsecond,
+	}
+	// Rocks is YCSB-A over RocksDB: 50/50 point reads and updates;
+	// updates surface as memtable flushes and compaction — large
+	// sequential write runs in bursts.
+	Rocks = Profile{
+		Name:          "Rocks",
+		ReadFraction:  0.50,
+		SizesPages:    []int{1, 4, 8},
+		SizeWeights:   []float64{0.55, 0.25, 0.20},
+		Theta:         0.99,
+		FootprintFrac: 0.6,
+		SeqWriteFrac:  0.7,
+		BurstLen:      160,
+		BurstPauseNs:  4 * sim.Millisecond,
+	}
+	// Mongo is YCSB-A over MongoDB (WiredTiger): 50/50 with smaller,
+	// more random update I/O than the LSM engine.
+	Mongo = Profile{
+		Name:          "Mongo",
+		ReadFraction:  0.50,
+		SizesPages:    []int{1, 2},
+		SizeWeights:   []float64{0.75, 0.25},
+		Theta:         0.99,
+		FootprintFrac: 0.6,
+		SeqWriteFrac:  0.2,
+		BurstLen:      64,
+		BurstPauseNs:  500 * sim.Microsecond,
+	}
+)
+
+// YCSB-B and YCSB-C round out the YCSB family beyond the paper's
+// update-heavy workload A (Rocks/Mongo): B is read-mostly (95/5),
+// C is read-only — useful for read-path studies.
+var (
+	YCSBB = Profile{
+		Name:          "YCSB-B",
+		ReadFraction:  0.95,
+		SizesPages:    []int{1},
+		SizeWeights:   []float64{1},
+		Theta:         0.99,
+		FootprintFrac: 0.6,
+		SeqWriteFrac:  0.2,
+	}
+	YCSBC = Profile{
+		Name:          "YCSB-C",
+		ReadFraction:  1.0,
+		SizesPages:    []int{1},
+		SizeWeights:   []float64{1},
+		Theta:         0.99,
+		FootprintFrac: 0.6,
+	}
+)
+
+// All lists the evaluation workloads in the paper's order (Fig 17).
+var All = []Profile{Mail, Web, Proxy, OLTP, Rocks, Mongo}
+
+// Extended lists every built-in workload, including the extra YCSB
+// profiles not used by the paper's figures.
+var Extended = append(append([]Profile{}, All...), YCSBB, YCSBC)
+
+// ByName finds a profile (case-sensitive).
+func ByName(name string) (Profile, bool) {
+	for _, p := range Extended {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Stream is a deterministic generator instantiated over a logical page
+// space.
+type Stream struct {
+	p           Profile
+	src         *rng.Source
+	zipf        *rng.Zipf
+	footprint   int64
+	seqCursor   int64
+	sinceBurst  int
+	totalWeight float64
+}
+
+// NewStream instantiates a profile over logicalPages with a seed.
+func NewStream(p Profile, logicalPages int, seed uint64) *Stream {
+	if logicalPages <= 0 {
+		panic("workload: no logical pages")
+	}
+	fp := int64(float64(logicalPages) * p.FootprintFrac)
+	if fp < 16 {
+		fp = int64(logicalPages)
+	}
+	src := rng.New(seed).Derive("workload/" + p.Name)
+	s := &Stream{p: p, src: src, footprint: fp}
+	if p.Theta > 0 {
+		s.zipf = rng.NewZipf(src.Derive("zipf"), uint64(fp), p.Theta)
+	}
+	for _, w := range p.SizeWeights {
+		s.totalWeight += w
+	}
+	return s
+}
+
+// Name implements Generator.
+func (s *Stream) Name() string { return s.p.Name }
+
+// Footprint returns the touched logical page span.
+func (s *Stream) Footprint() int64 { return s.footprint }
+
+func (s *Stream) pickLPN() int64 {
+	if s.zipf != nil {
+		return int64(s.zipf.ScrambledNext())
+	}
+	return int64(s.src.Uint64n(uint64(s.footprint)))
+}
+
+func (s *Stream) pickSize() int {
+	if len(s.p.SizesPages) == 0 {
+		return 1
+	}
+	x := s.src.Float64() * s.totalWeight
+	for i, w := range s.p.SizeWeights {
+		if x < w {
+			return s.p.SizesPages[i]
+		}
+		x -= w
+	}
+	return s.p.SizesPages[len(s.p.SizesPages)-1]
+}
+
+// Next implements Generator.
+func (s *Stream) Next() Request {
+	var r Request
+	if s.src.Bool(s.p.ReadFraction) {
+		r.Op = Read
+	} else {
+		r.Op = Write
+	}
+	r.Pages = s.pickSize()
+	if r.Op == Write && s.src.Bool(s.p.SeqWriteFrac) {
+		// Continue the sequential run (log append / compaction output).
+		r.LPN = s.seqCursor
+		s.seqCursor = (s.seqCursor + int64(r.Pages)) % s.footprint
+	} else {
+		r.LPN = s.pickLPN()
+		if r.Op == Write {
+			s.seqCursor = (r.LPN + int64(r.Pages)) % s.footprint
+		}
+	}
+	if r.LPN+int64(r.Pages) > s.footprint {
+		r.LPN = s.footprint - int64(r.Pages)
+		if r.LPN < 0 {
+			r.LPN, r.Pages = 0, 1
+		}
+	}
+	if s.p.BurstLen > 0 {
+		s.sinceBurst++
+		if s.sinceBurst >= s.p.BurstLen {
+			s.sinceBurst = 0
+			r.ThinkNs = s.p.BurstPauseNs
+		}
+	}
+	return r
+}
+
+var _ Generator = (*Stream)(nil)
+
+// String describes the profile.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s{r=%.0f%% theta=%.2f seq=%.0f%%}",
+		p.Name, p.ReadFraction*100, p.Theta, p.SeqWriteFrac*100)
+}

@@ -1,0 +1,53 @@
+package cubeftl
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cubeftl/internal/workload"
+)
+
+// RecordTrace writes n requests of a named workload (sized to
+// logicalPages) to w in the plain-text trace format (see
+// internal/workload: "<r|w> <lpn> <pages> [think_ns]" per line).
+func RecordTrace(w io.Writer, workloadName string, logicalPages, n int, seed uint64) error {
+	prof, ok := workload.ByName(workloadName)
+	if !ok {
+		return fmt.Errorf("cubeftl: unknown workload %q (have %v)", workloadName, Workloads())
+	}
+	gen := workload.NewStream(prof, logicalPages, seed)
+	return workload.WriteTrace(w, gen, n)
+}
+
+// RunTrace replays a recorded request trace against the SSD, wrapping
+// around the recording if requests exceeds its length.
+func (s *SSD) RunTrace(r io.Reader, name string, requests, queueDepth int) (RunStats, error) {
+	tr, err := workload.ParseTrace(name, r)
+	if err != nil {
+		return RunStats{}, err
+	}
+	if max := tr.MaxLPN(); max > int64(s.ctrl.LogicalPages()) {
+		return RunStats{}, fmt.Errorf("cubeftl: trace touches LPN %d beyond the device's %d pages",
+			max-1, s.ctrl.LogicalPages())
+	}
+	res := workload.Run(s.ctrl, tr, workload.RunConfig{Requests: requests, QueueDepth: queueDepth})
+	st := s.ctrl.Stats()
+	return RunStats{
+		Requests:       res.Requests,
+		Elapsed:        time.Duration(res.ElapsedNs),
+		IOPS:           res.IOPS(),
+		ReadP50:        time.Duration(res.ReadLat.Percentile(50)),
+		ReadP90:        time.Duration(res.ReadLat.Percentile(90)),
+		ReadP99:        time.Duration(res.ReadLat.Percentile(99)),
+		WriteP50:       time.Duration(res.WriteLat.Percentile(50)),
+		WriteP90:       time.Duration(res.WriteLat.Percentile(90)),
+		WriteP99:       time.Duration(res.WriteLat.Percentile(99)),
+		MeanTPROG:      time.Duration(st.MeanTPROGNs()),
+		ReadRetries:    st.ReadRetries,
+		GCRuns:         st.GCCount,
+		Reprograms:     st.Reprograms,
+		BufferHits:     st.BufferHits,
+		DataMismatches: st.DataMismatches,
+	}, nil
+}
