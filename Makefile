@@ -1,0 +1,31 @@
+# Tier-1 gate: everything a PR must keep green. The chaos soak and other
+# long tests hide behind -short here; `make soak` runs them in full.
+GO ?= go
+
+.PHONY: tier1 build vet test race soak figures clean
+
+tier1: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checked short run (skips the chaos soak and long experiments).
+race:
+	$(GO) test -race -short ./...
+
+# Full suite including the fault-injection chaos soak.
+soak:
+	$(GO) test -race ./...
+
+# Regenerate every paper figure/extension table.
+figures:
+	$(GO) run ./cmd/paperfig
+
+clean:
+	$(GO) clean ./...

@@ -28,6 +28,10 @@ func main() {
 	retention := flag.Float64("retention", 0, "pinned retention age in months (paper: 0, 1 or 12)")
 	prefill := flag.Bool("prefill", true, "prefill the workload footprint before measuring")
 	tracePath := flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload")
+	pfail := flag.Float64("pfail", 0, "program-status failure rate per word-line program")
+	efail := flag.Float64("efail", 0, "erase failure rate per block erase (grows bad blocks)")
+	rfault := flag.Float64("rfault", 0, "transient read fault rate per page read")
+	badblocks := flag.Float64("badblocks", 0, "fraction of blocks factory-marked bad at boot")
 	record := flag.String("record", "", "record the workload to a trace file and exit")
 	flag.Parse()
 
@@ -37,6 +41,10 @@ func main() {
 		Seed:            *seed,
 		PECycles:        *pe,
 		RetentionMonths: *retention,
+		ProgramFailRate: *pfail,
+		EraseFailRate:   *efail,
+		ReadFaultRate:   *rfault,
+		FactoryBadRate:  *badblocks,
 	}
 	dev, err := cubeftl.New(opts)
 	if err != nil {
@@ -96,6 +104,13 @@ func main() {
 	fmt.Printf("  mean tPROG  %v\n", st.MeanTPROG)
 	fmt.Printf("  read retries %d, GC runs %d, reprograms %d, buffer hits %d\n",
 		st.ReadRetries, st.GCRuns, st.Reprograms, st.BufferHits)
+	if st.ProgramFailures+st.EraseFailures+st.ReadFaults+st.RetiredBlocks+st.WriteRejects > 0 {
+		fmt.Printf("  faults: %d program fails, %d erase fails, %d read faults, %d retired blocks, %d recoveries, %d rejected writes\n",
+			st.ProgramFailures, st.EraseFailures, st.ReadFaults, st.RetiredBlocks, st.FaultRecoveries, st.WriteRejects)
+		if dev.Degraded() {
+			fmt.Println("  DEVICE DEGRADED: read-only (free blocks exhausted)")
+		}
+	}
 	if cs := dev.Cube(); cs.LeaderPrograms+cs.FollowerPrograms > 0 {
 		fmt.Printf("  PS-aware: %d leaders, %d followers, %d safety rejects, ORT %d hits / %d misses (%d bytes)\n",
 			cs.LeaderPrograms, cs.FollowerPrograms, cs.SafetyRejects, cs.ORTHits, cs.ORTMisses, cs.ORTBytes)

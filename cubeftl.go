@@ -27,6 +27,7 @@ import (
 
 	"cubeftl/internal/core"
 	"cubeftl/internal/ftl"
+	"cubeftl/internal/nand"
 	"cubeftl/internal/sim"
 	"cubeftl/internal/ssd"
 	"cubeftl/internal/workload"
@@ -70,6 +71,15 @@ type Options struct {
 	// RunStats.DataMismatches reports violations (always zero for a
 	// correct FTL). Costs memory; intended for testing.
 	VerifyData bool
+
+	// Fault injection (deterministic, seed-derived; see internal/nand).
+	// All rates are per-operation probabilities; zero disables the
+	// mechanism. The FTL absorbs injected faults by retiring blocks and
+	// re-issuing data — see RunStats' fault counters.
+	ProgramFailRate float64 // program-status failure per word-line program
+	EraseFailRate   float64 // erase failure per block erase (grows a bad block)
+	ReadFaultRate   float64 // transient fault per page read (re-issued)
+	FactoryBadRate  float64 // fraction of blocks factory-marked bad at boot
 }
 
 // DefaultOptions returns the paper's full evaluation device (2 buses x
@@ -118,6 +128,15 @@ func New(opts Options) (*SSD, error) {
 	devCfg.PlanesPerChip = opts.PlanesPerChip
 	devCfg.Chip.StoreData = opts.VerifyData
 	dev := ssd.New(eng, devCfg)
+	faults := nand.FaultConfig{
+		ProgramFailRate: opts.ProgramFailRate,
+		EraseFailRate:   opts.EraseFailRate,
+		ReadFaultRate:   opts.ReadFaultRate,
+		FactoryBadRate:  opts.FactoryBadRate,
+	}
+	if faults.Enabled() {
+		dev.SetFaults(faults)
+	}
 	if opts.PECycles > 0 || opts.RetentionMonths > 0 {
 		dev.PreAge(opts.PECycles, opts.RetentionMonths)
 		dev.SetReadJitterProb(0.5)
@@ -167,9 +186,16 @@ func (s *SSD) Now() time.Duration { return time.Duration(s.eng.Now()) }
 // ErrBadLPN reports an out-of-range logical page number.
 var ErrBadLPN = errors.New("cubeftl: LPN out of range")
 
+// ErrDegraded reports a write rejected because the device has dropped
+// to read-only degraded mode (free-block exhaustion from grown bad
+// blocks). Reads keep working. Alias of the internal FTL error so
+// errors.Is works across the facade.
+var ErrDegraded = ftl.ErrDegraded
+
 // Write enqueues a host page write; done (optional) runs in simulated
 // time when the write is acknowledged. Call Run to advance the
-// simulation.
+// simulation. A degraded (read-only) device rejects writes with
+// ErrDegraded.
 func (s *SSD) Write(lpn int64, done func()) error {
 	if lpn < 0 || lpn >= int64(s.ctrl.LogicalPages()) {
 		return fmt.Errorf("%w: %d", ErrBadLPN, lpn)
@@ -177,9 +203,11 @@ func (s *SSD) Write(lpn int64, done func()) error {
 	if done == nil {
 		done = func() {}
 	}
-	s.ctrl.Write(ftl.LPN(lpn), done)
-	return nil
+	return s.ctrl.Write(ftl.LPN(lpn), done)
 }
+
+// Degraded reports whether the device has dropped to read-only mode.
+func (s *SSD) Degraded() bool { return s.ctrl.Degraded() }
 
 // Read enqueues a host page read; done (optional) runs in simulated
 // time when data is returned.
@@ -236,6 +264,14 @@ type RunStats struct {
 	Reprograms     int64
 	BufferHits     int64
 	DataMismatches int64
+
+	// Fault handling (non-zero only with fault injection enabled).
+	ProgramFailures int64
+	EraseFailures   int64
+	ReadFaults      int64
+	RetiredBlocks   int64
+	FaultRecoveries int64
+	WriteRejects    int64
 }
 
 // RunWorkload drives one of the named workloads (see Workloads) against
@@ -264,6 +300,13 @@ func (s *SSD) RunWorkload(name string, requests, queueDepth int) (RunStats, erro
 		Reprograms:     st.Reprograms,
 		BufferHits:     st.BufferHits,
 		DataMismatches: st.DataMismatches,
+
+		ProgramFailures: st.ProgramFailures,
+		EraseFailures:   st.EraseFailures,
+		ReadFaults:      st.ReadFaults,
+		RetiredBlocks:   st.RetiredBlocks,
+		FaultRecoveries: st.FaultRecoveries,
+		WriteRejects:    st.WriteRejects,
 	}, nil
 }
 

@@ -2,6 +2,7 @@ package cubeftl
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -200,4 +201,75 @@ func TestIspAndPlanesOptions(t *testing.T) {
 	if st.MeanTPROG >= 600*time.Microsecond {
 		t.Errorf("ispFTL mean tPROG = %v, want clearly accelerated", st.MeanTPROG)
 	}
+}
+
+func TestFaultInjectionOptions(t *testing.T) {
+	opts := smallOptions(FTLCube)
+	opts.BlocksPerChip = 32
+	opts.VerifyData = true
+	opts.ProgramFailRate = 2e-3
+	opts.EraseFailRate = 1e-4
+	opts.ReadFaultRate = 1e-3
+	opts.FactoryBadRate = 0.02
+	dev, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dev.RunWorkload("Mail", 8000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ProgramFailures == 0 {
+		t.Error("program-failure rate never fired through the facade")
+	}
+	if st.RetiredBlocks == 0 {
+		t.Error("no blocks retired")
+	}
+	if st.FaultRecoveries == 0 {
+		t.Error("no recoveries counted")
+	}
+	if st.DataMismatches != 0 {
+		t.Errorf("DataMismatches = %d under fault injection", st.DataMismatches)
+	}
+	if dev.Degraded() {
+		t.Error("device degraded under moderate fault rates")
+	}
+}
+
+func TestDegradedDeviceRejectsFacadeWrites(t *testing.T) {
+	opts := smallOptions(FTLPage)
+	opts.BlocksPerChip = 8
+	opts.Buses = 1
+	opts.ChipsPerBus = 2
+	opts.VerifyData = true
+	opts.EraseFailRate = 1
+	dev, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(dev.LogicalPages() / 3)
+	var rejected error
+	for round := 0; round < 200 && rejected == nil; round++ {
+		for lpn := int64(0); lpn < n; lpn++ {
+			if err := dev.Write(lpn, nil); err != nil {
+				rejected = err
+				break
+			}
+		}
+		dev.Run()
+	}
+	if rejected == nil {
+		t.Fatal("device never degraded under total erase failure")
+	}
+	if !errors.Is(rejected, ErrDegraded) {
+		t.Fatalf("rejection = %v, want ErrDegraded", rejected)
+	}
+	if !dev.Degraded() {
+		t.Error("Degraded() = false")
+	}
+	// Reads still work on the degraded device.
+	if err := dev.Read(0, nil); err != nil {
+		t.Errorf("read on degraded device: %v", err)
+	}
+	dev.Run()
 }

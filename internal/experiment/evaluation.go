@@ -89,6 +89,10 @@ type RunOutcome struct {
 	HostWrites    int64
 	BufferHits    int64
 	Uncorrectable int64
+	// Fault-handling counters (non-zero only under fault injection).
+	Faults *metrics.CounterSet
+	// Degraded reports whether the device ended the run read-only.
+	Degraded bool
 }
 
 // IOPS is the outcome's throughput.
@@ -148,6 +152,8 @@ func RunCustom(factory func(*ssd.Device) ftl.Policy, prof workload.Profile, opts
 		HostWrites:    st.HostWrites,
 		BufferHits:    st.BufferHits,
 		Uncorrectable: st.Uncorrectable,
+		Faults:        st.FaultCounters(),
+		Degraded:      ctrl.Degraded(),
 	}
 }
 

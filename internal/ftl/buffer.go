@@ -21,15 +21,16 @@ type bufEntry struct {
 	requeue  bool   // overwritten while in flight; must flush again
 }
 
-// NewWriteBuffer returns a buffer holding up to capacity pages.
-func NewWriteBuffer(capacity int) *WriteBuffer {
+// NewWriteBuffer returns a buffer holding up to capacity pages, or an
+// error (ErrBufferCapacity) for a non-positive capacity.
+func NewWriteBuffer(capacity int) (*WriteBuffer, error) {
 	if capacity < 1 {
-		panic(fmt.Sprintf("ftl: write buffer capacity %d", capacity))
+		return nil, fmt.Errorf("%w: got %d", ErrBufferCapacity, capacity)
 	}
 	return &WriteBuffer{
 		capacity: capacity,
 		entries:  make(map[LPN]*bufEntry, capacity),
-	}
+	}, nil
 }
 
 // Capacity returns the slot count.

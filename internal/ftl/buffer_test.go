@@ -1,9 +1,12 @@
 package ftl
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestBufferAdmission(t *testing.T) {
-	b := NewWriteBuffer(2)
+	b := mustBuffer(t, 2)
 	if !b.Put(1) || !b.Put(2) {
 		t.Fatal("admission to empty buffer failed")
 	}
@@ -23,7 +26,7 @@ func TestBufferAdmission(t *testing.T) {
 }
 
 func TestBufferFlushSettle(t *testing.T) {
-	b := NewWriteBuffer(8)
+	b := mustBuffer(t, 8)
 	for lpn := LPN(0); lpn < 5; lpn++ {
 		b.Put(lpn)
 	}
@@ -48,7 +51,7 @@ func TestBufferFlushSettle(t *testing.T) {
 }
 
 func TestBufferOverwriteInFlight(t *testing.T) {
-	b := NewWriteBuffer(8)
+	b := mustBuffer(t, 8)
 	b.Put(7)
 	g := b.TakeFlushGroup(3)
 	if len(g) != 1 {
@@ -77,7 +80,7 @@ func TestBufferOverwriteInFlight(t *testing.T) {
 }
 
 func TestBufferRequeue(t *testing.T) {
-	b := NewWriteBuffer(8)
+	b := mustBuffer(t, 8)
 	for lpn := LPN(0); lpn < 4; lpn++ {
 		b.Put(lpn)
 	}
@@ -96,11 +99,23 @@ func TestBufferRequeue(t *testing.T) {
 	}
 }
 
-func TestBufferPanicsOnZeroCapacity(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+func mustBuffer(t *testing.T, capacity int) *WriteBuffer {
+	t.Helper()
+	b, err := NewWriteBuffer(capacity)
+	if err != nil {
+		t.Fatalf("NewWriteBuffer(%d): %v", capacity, err)
+	}
+	return b
+}
+
+func TestBufferRejectsBadCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -3} {
+		b, err := NewWriteBuffer(capacity)
+		if !errors.Is(err, ErrBufferCapacity) {
+			t.Errorf("NewWriteBuffer(%d) err = %v, want ErrBufferCapacity", capacity, err)
 		}
-	}()
-	NewWriteBuffer(0)
+		if b != nil {
+			t.Errorf("NewWriteBuffer(%d) returned a buffer with its error", capacity)
+		}
+	}
 }

@@ -29,7 +29,9 @@ func (c *Controller) Trim(lpn LPN, done func()) {
 //   - per-block valid counts match the reverse map,
 //   - every live physical page is programmed on its chip,
 //   - no free-pool block holds live pages,
-//   - active cursors agree with chip programmed state.
+//   - active cursors agree with chip programmed state,
+//   - retired blocks are neither in the free pool nor active, and (once
+//     all evacuations have finished) hold no live pages.
 //
 // Tests and long soak runs call it after every phase; it is the fsck of
 // the simulated FTL.
@@ -77,6 +79,27 @@ func (c *Controller) CheckConsistency() error {
 		for _, b := range c.freeBlocks[chip] {
 			if v := c.mapper.ValidCount(chip, b); v != 0 {
 				return fmt.Errorf("ftl: free block %d on chip %d has %d live pages", b, chip, v)
+			}
+		}
+		// Retired blocks never re-enter circulation.
+		for _, b := range c.freeBlocks[chip] {
+			if c.retired[chip][b] {
+				return fmt.Errorf("ftl: retired block %d on chip %d is in the free pool", b, chip)
+			}
+		}
+		evacuating := make(map[int]bool, len(c.pendingRetire[chip]))
+		for _, b := range c.pendingRetire[chip] {
+			evacuating[b] = true
+		}
+		for b := range c.retired[chip] {
+			if c.isActive(chip, b) {
+				return fmt.Errorf("ftl: retired block %d on chip %d is an active write point", b, chip)
+			}
+			if c.degraded || c.gcActive[chip] || evacuating[b] {
+				continue // evacuation in flight or abandoned at degradation
+			}
+			if v := c.mapper.ValidCount(chip, b); v != 0 {
+				return fmt.Errorf("ftl: retired block %d on chip %d still holds %d live pages", b, chip, v)
 			}
 		}
 		// Active cursors must agree with the chip.

@@ -1,6 +1,7 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 
 	"cubeftl/internal/metrics"
@@ -78,6 +79,30 @@ type Stats struct {
 	DataMismatches int64
 	// Reclaims counts read-disturb reclaim relocations.
 	Reclaims int64
+
+	// Fault-handling counters (all zero on a fault-free device).
+
+	// ProgramFailures counts program-status failures reported by the
+	// chips; each one retires the destination block and re-issues the
+	// affected data.
+	ProgramFailures int64
+	// EraseFailures counts erase failures; each one grows a bad block.
+	EraseFailures int64
+	// ReadFaults counts transient read faults; each is re-issued before
+	// it can surface as a host-visible error.
+	ReadFaults int64
+	// RetiredBlocks counts grown-bad blocks retired by the controller
+	// (program/erase failures; factory marks are counted separately).
+	RetiredBlocks int64
+	// FactoryBadBlocks counts blocks excluded by the boot-time factory
+	// bad-block scan.
+	FactoryBadBlocks int64
+	// FaultRecoveries counts successful recovery actions: requeued host
+	// groups, retried GC batches, retirements absorbed without data
+	// loss, and transient reads recovered by re-issue.
+	FaultRecoveries int64
+	// WriteRejects counts host writes refused in degraded mode.
+	WriteRejects int64
 }
 
 // MeanTPROGNs returns the average NAND program latency of the run.
@@ -88,9 +113,26 @@ func (s *Stats) MeanTPROGNs() float64 {
 	return float64(s.ProgramNs) / float64(s.Programs)
 }
 
+// FaultCounters returns the fault-handling counters as an ordered,
+// printable set (reports and the cubesim CLI).
+func (s *Stats) FaultCounters() *metrics.CounterSet {
+	cs := metrics.NewCounterSet()
+	cs.Add("ProgramFailures", s.ProgramFailures)
+	cs.Add("EraseFailures", s.EraseFailures)
+	cs.Add("ReadFaults", s.ReadFaults)
+	cs.Add("RetiredBlocks", s.RetiredBlocks)
+	cs.Add("FactoryBadBlocks", s.FactoryBadBlocks)
+	cs.Add("FaultRecoveries", s.FaultRecoveries)
+	cs.Add("WriteRejects", s.WriteRejects)
+	return cs
+}
+
 // Controller is the host-facing FTL datapath: write buffering, page
 // mapping, flushing, garbage collection, and read handling, with all
-// flavor-specific choices delegated to a Policy.
+// flavor-specific choices delegated to a Policy. It degrades gracefully
+// under NAND faults: failed blocks are retired, their data re-issued,
+// and total free-block exhaustion puts the device in a read-only
+// degraded mode instead of crashing.
 type Controller struct {
 	eng *sim.Engine
 	dev *ssd.Device
@@ -104,7 +146,16 @@ type Controller struct {
 	freeBlocks [][]int          // per chip: erased block IDs
 	actives    [][]*BlockCursor // per chip: open write points
 	inflight   []int            // per chip: issued, uncompleted programs
-	gcActive   []bool           // per chip: GC in progress
+	gcActive   []bool           // per chip: GC or evacuation in progress
+
+	// Bad-block management. retired holds every block the controller
+	// will never write again: factory-marked blocks plus grown-bad
+	// blocks (program/erase failures). pendingRetire queues retired
+	// blocks whose live pages still need evacuation (one relocation
+	// cycle runs per chip at a time).
+	retired       []map[int]bool
+	pendingRetire [][]int
+	degraded      bool // read-only: no chip can accept another program
 
 	pendingWrites []pendingWrite // host writes waiting for buffer space
 	flushChip     int            // round-robin cursor
@@ -126,6 +177,10 @@ func NewController(dev *ssd.Device, pol Policy, cfg ControllerConfig) *Controlle
 	}
 	geo := dev.Geometry()
 	logical := int(float64(geo.PhysPages()) * (1 - cfg.OverProvision))
+	buf, err := NewWriteBuffer(cfg.WriteBufferPages)
+	if err != nil { // unreachable after the default substitution above
+		buf, _ = NewWriteBuffer(DefaultControllerConfig().WriteBufferPages)
+	}
 	c := &Controller{
 		eng:    dev.Engine(),
 		dev:    dev,
@@ -133,7 +188,7 @@ func NewController(dev *ssd.Device, pol Policy, cfg ControllerConfig) *Controlle
 		cfg:    cfg,
 		geo:    geo,
 		mapper: NewMapper(geo, logical),
-		buf:    NewWriteBuffer(cfg.WriteBufferPages),
+		buf:    buf,
 	}
 	c.stats.ReadLat = metrics.NewHist(0)
 	c.stats.WriteLat = metrics.NewHist(0)
@@ -145,17 +200,32 @@ func NewController(dev *ssd.Device, pol Policy, cfg ControllerConfig) *Controlle
 	c.actives = make([][]*BlockCursor, nChips)
 	c.inflight = make([]int, nChips)
 	c.gcActive = make([]bool, nChips)
+	c.retired = make([]map[int]bool, nChips)
+	c.pendingRetire = make([][]int, nChips)
 	for chip := 0; chip < nChips; chip++ {
+		// Boot-time factory bad-block scan: factory-marked blocks never
+		// enter the free pool.
+		c.retired[chip] = make(map[int]bool)
+		for _, b := range dev.Chip(chip).NAND.FactoryBadBlocks() {
+			c.retired[chip][b] = true
+			c.stats.FactoryBadBlocks++
+		}
 		c.freeBlocks[chip] = make([]int, 0, geo.BlocksPerChip)
 		for b := geo.BlocksPerChip - 1; b >= 0; b-- {
-			c.freeBlocks[chip] = append(c.freeBlocks[chip], b)
+			if !c.retired[chip][b] {
+				c.freeBlocks[chip] = append(c.freeBlocks[chip], b)
+			}
 		}
 		n := pol.ActiveBlocksPerChip()
 		if n < 1 {
 			n = 1
 		}
 		for i := 0; i < n; i++ {
-			c.actives[chip] = append(c.actives[chip], c.takeFreeBlock(chip))
+			cur, ok := c.takeFreeBlock(chip)
+			if !ok {
+				break // pathologically bad chip: it runs with fewer write points
+			}
+			c.actives[chip] = append(c.actives[chip], cur)
 		}
 	}
 	return c
@@ -171,11 +241,16 @@ func (c *Controller) Engine() *sim.Engine { return c.eng }
 func (c *Controller) Device() *ssd.Device { return c.dev }
 
 // ResetStats discards accumulated measurements (e.g. after a prefill or
-// warmup phase) without touching translation or buffer state.
+// warmup phase) without touching translation or buffer state. Bad-block
+// accounting (retired/factory counts) survives the reset — those blocks
+// are still gone.
 func (c *Controller) ResetStats() {
+	retired, factory := c.stats.RetiredBlocks, c.stats.FactoryBadBlocks
 	c.stats = Stats{
-		ReadLat:  metrics.NewHist(0),
-		WriteLat: metrics.NewHist(0),
+		ReadLat:          metrics.NewHist(0),
+		WriteLat:         metrics.NewHist(0),
+		RetiredBlocks:    retired,
+		FactoryBadBlocks: factory,
 	}
 }
 
@@ -191,10 +266,19 @@ func (c *Controller) BufferUtilization() float64 { return c.buf.Utilization() }
 // LogicalPages returns the exported capacity in pages.
 func (c *Controller) LogicalPages() int { return c.mapper.LogicalPages() }
 
-func (c *Controller) takeFreeBlock(chip int) *BlockCursor {
+// Degraded reports whether the device has dropped to read-only mode.
+func (c *Controller) Degraded() bool { return c.degraded }
+
+// IsRetired reports whether a block has been retired (factory mark or
+// grown bad).
+func (c *Controller) IsRetired(chip, block int) bool { return c.retired[chip][block] }
+
+// takeFreeBlock pops an erased block from the chip's pool, or reports
+// ok=false when the pool is exhausted.
+func (c *Controller) takeFreeBlock(chip int) (*BlockCursor, bool) {
 	pool := c.freeBlocks[chip]
 	if len(pool) == 0 {
-		panic(fmt.Sprintf("ftl: chip %d out of free blocks (GC misconfigured)", chip))
+		return nil, false
 	}
 	idx := len(pool) - 1
 	if c.cfg.WearAware {
@@ -208,7 +292,7 @@ func (c *Controller) takeFreeBlock(chip int) *BlockCursor {
 	}
 	b := pool[idx]
 	c.freeBlocks[chip] = append(pool[:idx], pool[idx+1:]...)
-	return NewBlockCursor(chip, b, c.geo.Layers, c.geo.WLsPerLayer)
+	return NewBlockCursor(chip, b, c.geo.Layers, c.geo.WLsPerLayer), true
 }
 
 // WearSpread returns the min and max block P/E counts across the device
@@ -228,6 +312,27 @@ func (c *Controller) WearSpread() (min, max int) {
 		}
 	}
 	return min, max
+}
+
+// readFaultRetries is how many times a transient read fault is
+// re-issued before the read escalates to a host-visible error.
+const readFaultRetries = 2
+
+// readWithRetry issues a flash read, transparently re-issuing it after
+// transient read faults before reporting the final outcome.
+func (c *Controller) readWithRetry(chip int, addr nand.Address, params nand.ReadParams, attempt int, done func(res nand.ReadResult, err error)) {
+	c.dev.Read(chip, addr, params, func(res nand.ReadResult, err error) {
+		if err != nil && errors.Is(err, nand.ErrReadFault) {
+			c.stats.ReadFaults++
+			if attempt < readFaultRetries {
+				c.readWithRetry(chip, addr, params, attempt+1, done)
+				return
+			}
+		} else if err == nil && attempt > 0 {
+			c.stats.FaultRecoveries++
+		}
+		done(res, err)
+	})
 }
 
 // Read serves a host page read; done runs at completion in simulated time.
@@ -252,9 +357,11 @@ func (c *Controller) Read(lpn LPN, done func()) {
 	chip, block, layer, wl, page := c.geo.DecodePPN(ppn)
 	params := nand.ReadParams{StartOffset: c.pol.ReadStartOffset(chip, block, layer)}
 	addr := nand.Address{Block: block, Layer: layer, WL: wl, Page: page}
-	c.dev.Read(chip, addr, params, func(res nand.ReadResult, err error) {
+	c.readWithRetry(chip, addr, params, 0, func(res nand.ReadResult, err error) {
 		c.stats.ReadRetries += int64(res.Retries)
 		if err != nil {
+			// The retry ladder (and any transient-fault re-issues) is
+			// exhausted: a counted, host-visible uncorrectable error.
 			c.stats.Uncorrectable++
 		} else {
 			c.checkReadPayload(lpn, res.Data)
@@ -269,7 +376,7 @@ func (c *Controller) Read(lpn LPN, done func()) {
 // count exceeded the chip's disturb budget: its data is relocated
 // through the normal GC machinery and the erase resets the counter.
 func (c *Controller) maybeReclaim(chip, block int) {
-	if c.cfg.DisableReadReclaim || c.gcActive[chip] || c.isActive(chip, block) {
+	if c.cfg.DisableReadReclaim || c.gcActive[chip] || c.isActive(chip, block) || c.retired[chip][block] {
 		return
 	}
 	if c.dev.Chip(chip).NAND.BlockReads(block) < nand.ReadDisturbBudget {
@@ -285,10 +392,16 @@ func (c *Controller) maybeReclaim(chip, block int) {
 
 // Write serves a host page write; done runs when the write is
 // acknowledged (admitted to the buffer). Backpressure from a full
-// buffer delays the acknowledgment.
-func (c *Controller) Write(lpn LPN, done func()) {
+// buffer delays the acknowledgment. A write is rejected synchronously
+// (done never runs) with ErrBadLPN outside the logical capacity or
+// ErrDegraded once the device has dropped to read-only mode.
+func (c *Controller) Write(lpn LPN, done func()) error {
 	if lpn < 0 || int(lpn) >= c.mapper.LogicalPages() {
-		panic(fmt.Sprintf("ftl: host write beyond logical capacity: %d", lpn))
+		return fmt.Errorf("%w: %d (capacity %d)", ErrBadLPN, lpn, c.mapper.LogicalPages())
+	}
+	if c.degraded {
+		c.stats.WriteRejects++
+		return ErrDegraded
 	}
 	c.stats.HostWrites++
 	start := c.eng.Now()
@@ -299,10 +412,11 @@ func (c *Controller) Write(lpn LPN, done func()) {
 	if c.buf.Put(lpn) {
 		c.eng.After(c.cfg.BufferReadNs, ack) // DMA into buffer
 		c.maybeFlush()
-		return
+		return nil
 	}
 	c.pendingWrites = append(c.pendingWrites, pendingWrite{lpn: lpn, done: ack})
 	c.maybeFlush()
+	return nil
 }
 
 // admitPending moves waiting host writes into freed buffer slots.
@@ -320,6 +434,9 @@ func (c *Controller) admitPending() {
 // maybeFlush issues word-line programs while buffered pages and chip
 // slots are available.
 func (c *Controller) maybeFlush() {
+	if c.degraded {
+		return
+	}
 	for c.buf.Flushable() >= vth.PagesPerWL {
 		chip, ok := c.pickChip()
 		if !ok {
@@ -349,13 +466,13 @@ func (c *Controller) pickChip() (int, bool) {
 
 // armFlushTimer schedules a partial flush so trickle writes complete.
 func (c *Controller) armFlushTimer() {
-	if c.timerArmed {
+	if c.timerArmed || c.degraded {
 		return
 	}
 	c.timerArmed = true
 	c.eng.After(c.cfg.FlushTimeoutNs, func() {
 		c.timerArmed = false
-		if c.buf.Flushable() == 0 {
+		if c.degraded || c.buf.Flushable() == 0 {
 			return
 		}
 		if chip, ok := c.pickChip(); ok {
@@ -363,33 +480,55 @@ func (c *Controller) armFlushTimer() {
 			c.stats.Padded += int64(vth.PagesPerWL - len(group))
 			c.flushTo(chip, group)
 		} else {
+			// No chip can take the flush right now. Re-arm unless the
+			// device as a whole has lost the ability to make progress.
+			c.checkDegraded()
 			c.armFlushTimer()
 		}
 	})
 }
 
 // allocateWL asks the policy for a word line, rotating full active
-// blocks out for fresh ones as needed.
-func (c *Controller) allocateWL(chip int) (cursor *BlockCursor, layer, wl int) {
+// blocks out for fresh ones as needed. It fails with ErrOutOfSpace when
+// the chip's free pool cannot back another write point, or with
+// ErrAllocFailed if the policy cannot place a word line on non-full
+// actives (a policy bug, surfaced instead of crashed on).
+func (c *Controller) allocateWL(chip int) (cursor *BlockCursor, layer, wl int, err error) {
 	for attempt := 0; attempt < 2; attempt++ {
+		if len(c.actives[chip]) == 0 {
+			return nil, 0, 0, fmt.Errorf("%w: chip %d", ErrOutOfSpace, chip)
+		}
 		idx, l, w, ok := c.pol.SelectWL(chip, c.actives[chip], c.buf.Utilization())
 		if ok {
-			return c.actives[chip][idx], l, w
+			return c.actives[chip][idx], l, w, nil
 		}
 		// Every active block is full: retire them all and retry.
-		for i, cur := range c.actives[chip] {
-			if cur.Full() {
-				c.pol.BlockRetired(chip, cur.Block)
-				c.actives[chip][i] = c.takeFreeBlock(chip)
+		for i := len(c.actives[chip]) - 1; i >= 0; i-- {
+			cur := c.actives[chip][i]
+			if !cur.Full() {
+				continue
+			}
+			c.pol.BlockRetired(chip, cur.Block)
+			if fresh, ok := c.takeFreeBlock(chip); ok {
+				c.actives[chip][i] = fresh
+			} else {
+				c.actives[chip] = append(c.actives[chip][:i], c.actives[chip][i+1:]...)
 			}
 		}
 	}
-	panic(fmt.Sprintf("ftl: %s could not allocate a word line on chip %d", c.pol.Name(), chip))
+	return nil, 0, 0, fmt.Errorf("%w: %s on chip %d", ErrAllocFailed, c.pol.Name(), chip)
 }
 
 // flushTo programs one word line on the chip from buffered pages.
 func (c *Controller) flushTo(chip int, group []FlushHandle) {
-	cursor, layer, wl := c.allocateWL(chip)
+	cursor, layer, wl, err := c.allocateWL(chip)
+	if err != nil {
+		// The chip cannot place the group: return the data to the
+		// buffer for another chip (or a later retry) and reassess.
+		c.buf.Requeue(group)
+		c.checkDegraded()
+		return
+	}
 	cursor.Take(layer, wl)
 	block := cursor.Block
 	params := c.pol.ProgramParams(chip, block, layer, wl)
@@ -398,7 +537,16 @@ func (c *Controller) flushTo(chip int, group []FlushHandle) {
 	c.dev.Program(chip, addr, c.hostPages(group), params, func(res nand.ProgramResult, err error) {
 		c.inflight[chip]--
 		if err != nil {
-			panic(fmt.Sprintf("ftl: program %v on chip %d: %v", addr, chip, err))
+			// Program-status failure: the data is still safe in the
+			// buffer. Re-issue it at the next allocation and retire the
+			// failed block.
+			c.stats.ProgramFailures++
+			c.buf.Requeue(group)
+			c.retireActive(chip, cursor)
+			c.stats.FaultRecoveries++
+			c.checkGC(chip)
+			c.maybeFlush()
+			return
 		}
 		c.stats.Programs++
 		c.stats.ProgramNs += res.LatencyNs
@@ -433,10 +581,92 @@ func (c *Controller) retireIfFull(chip int, cursor *BlockCursor) {
 	for i, cur := range c.actives[chip] {
 		if cur == cursor {
 			c.pol.BlockRetired(chip, cursor.Block)
-			c.actives[chip][i] = c.takeFreeBlock(chip)
+			if fresh, ok := c.takeFreeBlock(chip); ok {
+				c.actives[chip][i] = fresh
+			} else {
+				c.actives[chip] = append(c.actives[chip][:i], c.actives[chip][i+1:]...)
+				c.checkDegraded()
+			}
 			return
 		}
 	}
+}
+
+// retireActive pulls a failed block out of the chip's write points and
+// retires it as grown-bad, backfilling the write point when a fresh
+// block is available.
+func (c *Controller) retireActive(chip int, cursor *BlockCursor) {
+	for i, cur := range c.actives[chip] {
+		if cur != cursor {
+			continue
+		}
+		c.pol.BlockRetired(chip, cursor.Block)
+		if fresh, ok := c.takeFreeBlock(chip); ok {
+			c.actives[chip][i] = fresh
+		} else {
+			c.actives[chip] = append(c.actives[chip][:i], c.actives[chip][i+1:]...)
+		}
+		break
+	}
+	c.retireBlock(chip, cursor.Block)
+}
+
+// retireBlock marks a block grown-bad: the chip records the bad-block
+// mark (as a controller writes one into the spare area), the block
+// never returns to the free pool, and any live pages it still holds
+// are queued for evacuation to fresh blocks.
+func (c *Controller) retireBlock(chip, block int) {
+	if c.retired[chip][block] {
+		return
+	}
+	c.retired[chip][block] = true
+	c.stats.RetiredBlocks++
+	c.dev.Chip(chip).NAND.MarkBadBlock(block)
+	if c.mapper.ValidCount(chip, block) > 0 {
+		c.evacuate(chip, block)
+	}
+	c.checkDegraded()
+}
+
+// evacuate relocates a retired block's live pages through the GC
+// relocation machinery (finishGC recognizes retired blocks and skips
+// the erase/free-pool return). One relocation cycle runs per chip at a
+// time; the rest queue.
+func (c *Controller) evacuate(chip, block int) {
+	if c.gcActive[chip] {
+		c.pendingRetire[chip] = append(c.pendingRetire[chip], block)
+		return
+	}
+	c.gcActive[chip] = true
+	c.relocate(chip, block, c.mapper.LivePages(chip, block))
+}
+
+// checkDegraded drops the device into read-only degraded mode when no
+// chip can make forward progress on writes anymore: no in-flight GC to
+// replenish a pool, no pool with flush headroom, and no GC victim left
+// to collect. Queued host writes that can no longer be admitted are
+// completed and counted as rejected (a real device would fail them
+// with a media error; reads keep working either way).
+func (c *Controller) checkDegraded() {
+	if c.degraded {
+		return
+	}
+	for chip := 0; chip < c.geo.Chips; chip++ {
+		if c.gcActive[chip] || len(c.freeBlocks[chip]) > 1 {
+			return
+		}
+		if len(c.freeBlocks[chip]) > 0 {
+			if _, ok := c.pickVictim(chip); ok {
+				return
+			}
+		}
+	}
+	c.degraded = true
+	for _, pw := range c.pendingWrites {
+		c.stats.WriteRejects++
+		pw.done()
+	}
+	c.pendingWrites = nil
 }
 
 // isActive reports whether a block is an open write point on its chip.
@@ -456,6 +686,7 @@ func (c *Controller) checkGC(chip int) {
 	}
 	victim, ok := c.pickVictim(chip)
 	if !ok {
+		c.checkDegraded()
 		return
 	}
 	c.gcActive[chip] = true
@@ -463,8 +694,8 @@ func (c *Controller) checkGC(chip int) {
 	c.relocate(chip, victim, c.mapper.LivePages(chip, victim))
 }
 
-// pickVictim selects the non-active, non-free block with the fewest
-// valid pages (greedy policy).
+// pickVictim selects the non-active, non-free, non-retired block with
+// the fewest valid pages (greedy policy).
 func (c *Controller) pickVictim(chip int) (int, bool) {
 	free := make(map[int]bool, len(c.freeBlocks[chip]))
 	for _, b := range c.freeBlocks[chip] {
@@ -472,7 +703,7 @@ func (c *Controller) pickVictim(chip int) (int, bool) {
 	}
 	best, bestValid := -1, int(^uint(0)>>1)
 	for b := 0; b < c.geo.BlocksPerChip; b++ {
-		if free[b] || c.isActive(chip, b) {
+		if free[b] || c.isActive(chip, b) || c.retired[chip][b] {
 			continue
 		}
 		if v := c.mapper.ValidCount(chip, b); v < bestValid {
@@ -525,7 +756,7 @@ func (c *Controller) gcReadBatch(chip, victim int, batch []LPN, data [][]byte, i
 	_, _, layer, wl, page := c.geo.DecodePPN(ppn)
 	params := nand.ReadParams{StartOffset: c.pol.ReadStartOffset(chip, victim, layer)}
 	addr := nand.Address{Block: victim, Layer: layer, WL: wl, Page: page}
-	c.dev.Read(chip, addr, params, func(res nand.ReadResult, err error) {
+	c.readWithRetry(chip, addr, params, 0, func(res nand.ReadResult, err error) {
 		c.stats.ReadRetries += int64(res.Retries)
 		c.pol.ObserveRead(chip, victim, layer, res, err)
 		if err != nil {
@@ -554,14 +785,29 @@ func (c *Controller) gcPages(data [][]byte) [][]byte {
 
 // gcWrite programs one word line of relocated pages.
 func (c *Controller) gcWrite(chip, victim int, batch []LPN, data [][]byte, rest []LPN) {
-	cursor, layer, wl := c.allocateWL(chip)
+	cursor, layer, wl, err := c.allocateWL(chip)
+	if err != nil {
+		// The chip cannot accept relocations anymore. The batch's pages
+		// are still live and readable at the victim — nothing is lost —
+		// but this collection cycle cannot finish.
+		c.gcActive[chip] = false
+		c.checkDegraded()
+		return
+	}
 	cursor.Take(layer, wl)
 	block := cursor.Block
 	params := c.pol.ProgramParams(chip, block, layer, wl)
 	addr := nand.Address{Block: block, Layer: layer, WL: wl}
 	c.dev.Program(chip, addr, c.gcPages(data), params, func(res nand.ProgramResult, err error) {
 		if err != nil {
-			panic(fmt.Sprintf("ftl: GC program %v on chip %d: %v", addr, chip, err))
+			// GC program failed: retire the destination and retry the
+			// same batch on a fresh word line (the source copies are
+			// still intact on the victim).
+			c.stats.ProgramFailures++
+			c.retireActive(chip, cursor)
+			c.stats.FaultRecoveries++
+			c.gcWrite(chip, victim, batch, data, rest)
+			return
 		}
 		c.stats.Programs++
 		c.stats.ProgramNs += res.LatencyNs
@@ -593,25 +839,69 @@ func (c *Controller) gcWrite(chip, victim int, batch []LPN, data [][]byte, rest 
 	})
 }
 
-// finishGC erases the victim and returns it to the free pool.
+// finishGC closes a relocation cycle: a normal victim is erased and
+// returned to the free pool; a retired block is simply left behind
+// (its evacuation is complete and it must never be reused). An erase
+// failure converts the victim into a grown bad block on the spot.
 func (c *Controller) finishGC(chip, victim int) {
+	if c.mapper.ValidCount(chip, victim) > 0 {
+		// A program issued before this cycle began can still complete
+		// mid-relocation and map pages into the victim (the block left
+		// the active set with the program in flight), and those pages
+		// postdate the relocation snapshot. Sweep them too; erasing now
+		// would destroy them.
+		c.relocate(chip, victim, c.mapper.LivePages(chip, victim))
+		return
+	}
+	if c.retired[chip][victim] {
+		c.mapper.ClearBlock(chip, victim)
+		c.gcFinished(chip)
+		return
+	}
 	c.dev.Erase(chip, victim, func(_ nand.EraseResult, err error) {
 		if err != nil {
-			panic(fmt.Sprintf("ftl: GC erase of chip %d block %d: %v", chip, victim, err))
+			// Erase failure: the block is grown-bad. Its live data was
+			// already relocated, so retiring it loses nothing.
+			c.stats.EraseFailures++
+			if !c.retired[chip][victim] {
+				c.retired[chip][victim] = true
+				c.stats.RetiredBlocks++
+			}
+			c.mapper.ClearBlock(chip, victim)
+			c.stats.FaultRecoveries++
+			c.gcFinished(chip)
+			return
 		}
 		c.mapper.ClearBlock(chip, victim)
 		c.freeBlocks[chip] = append(c.freeBlocks[chip], victim)
 		c.pol.BlockErased(chip, victim)
-		c.gcActive[chip] = false
-		c.checkGC(chip)
-		c.maybeFlush()
+		c.gcFinished(chip)
 	})
 }
 
+// gcFinished ends one relocation cycle and starts the next queued
+// retirement evacuation, if any.
+func (c *Controller) gcFinished(chip int) {
+	c.gcActive[chip] = false
+	for len(c.pendingRetire[chip]) > 0 {
+		block := c.pendingRetire[chip][0]
+		c.pendingRetire[chip] = c.pendingRetire[chip][1:]
+		if c.mapper.ValidCount(chip, block) > 0 {
+			c.gcActive[chip] = true
+			c.relocate(chip, block, c.mapper.LivePages(chip, block))
+			return
+		}
+		c.mapper.ClearBlock(chip, block)
+	}
+	c.checkGC(chip)
+	c.maybeFlush()
+}
+
 // Drained reports that no host work is pending anywhere: used by runs
-// to quiesce before measuring.
+// to quiesce before measuring. A degraded device is considered drained
+// once nothing is in flight — its buffered pages can never flush.
 func (c *Controller) Drained() bool {
-	if len(c.pendingWrites) > 0 || c.buf.Occupied() > 0 {
+	if len(c.pendingWrites) > 0 || (!c.degraded && c.buf.Occupied() > 0) {
 		return false
 	}
 	for _, n := range c.inflight {

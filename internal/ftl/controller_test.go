@@ -3,9 +3,11 @@ package ftl
 import (
 	"testing"
 
+	"cubeftl/internal/nand"
 	"cubeftl/internal/rng"
 	"cubeftl/internal/sim"
 	"cubeftl/internal/ssd"
+	"cubeftl/internal/vth"
 )
 
 // testDevice builds a small SSD for controller tests: 2 chips, 24
@@ -213,5 +215,93 @@ func TestPartialFlushTimeout(t *testing.T) {
 	}
 	if c.Stats().Padded == 0 {
 		t.Error("padding not accounted")
+	}
+}
+
+// The flush timer must repeatedly clear trickle writes (each below one
+// word-line group) and its timeout must bound the mapping delay.
+func TestFlushTimeoutTrickleWrites(t *testing.T) {
+	eng, dev := testDevice(19)
+	cfg := DefaultControllerConfig()
+	cfg.WriteBufferPages = 32
+	cfg.FlushTimeoutNs = 200 * sim.Microsecond
+	c := NewController(dev, NewPagePolicy(), cfg)
+
+	// Three rounds of single-page writes, each drained separately: every
+	// round needs its own timer-driven partial flush.
+	for round := 0; round < 3; round++ {
+		lpn := LPN(round)
+		start := eng.Now()
+		c.Write(lpn, func() {})
+		eng.Run()
+		if c.Mapper().Lookup(lpn) == ssd.UnmappedPPN {
+			t.Fatalf("round %d: trickle write never flushed", round)
+		}
+		if elapsed := eng.Now() - start; elapsed < cfg.FlushTimeoutNs {
+			t.Errorf("round %d: flushed after %d ns, before the %d ns timeout",
+				round, elapsed, cfg.FlushTimeoutNs)
+		}
+	}
+	// Each 1-page group was padded to a full word line.
+	if c.Stats().Padded != 3*int64(vth.PagesPerWL-1) {
+		t.Errorf("Padded = %d, want %d", c.Stats().Padded, 3*(vth.PagesPerWL-1))
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Read-disturb reclaim: hammering one block past the chip's disturb
+// budget must relocate it exactly when the feature is enabled, and the
+// DisableReadReclaim toggle must suppress it.
+func TestReadDisturbReclaimToggle(t *testing.T) {
+	run := func(disable bool) (*Controller, *sim.Engine) {
+		eng, dev := testDevice(13)
+		cfg := DefaultControllerConfig()
+		cfg.WriteBufferPages = 32
+		cfg.DisableReadReclaim = disable
+		c := NewController(dev, NewPagePolicy(), cfg)
+		// Fill several blocks so LPN 0's home rotates out of the active
+		// set (active blocks are exempt from reclaim).
+		perBlock := dev.Geometry().PagesPerBlock()
+		for lpn := LPN(0); lpn < LPN(5*perBlock); lpn++ {
+			c.Write(lpn, func() {})
+		}
+		eng.Run()
+		// Hammer LPN 0 past the disturb budget.
+		total := nand.ReadDisturbBudget + 64
+		issued, outstanding := 0, 0
+		var pump func()
+		pump = func() {
+			for outstanding < 32 && issued < total {
+				issued++
+				outstanding++
+				c.Read(0, func() { outstanding--; pump() })
+			}
+		}
+		pump()
+		eng.Run()
+		return c, eng
+	}
+
+	c, _ := run(false)
+	if c.Stats().Reclaims == 0 {
+		t.Error("reclaim never fired past the disturb budget")
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+	// The reclaimed block was erased: its read counter restarted.
+	chip, block, _, _, _ := c.Device().Geometry().DecodePPN(c.Mapper().Lookup(0))
+	if reads := c.Device().Chip(chip).NAND.BlockReads(block); reads >= nand.ReadDisturbBudget {
+		t.Errorf("LPN 0's block still has %d reads after reclaim", reads)
+	}
+
+	c, _ = run(true)
+	if got := c.Stats().Reclaims; got != 0 {
+		t.Errorf("Reclaims = %d with DisableReadReclaim set", got)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Error(err)
 	}
 }

@@ -1,0 +1,23 @@
+package ftl
+
+import "errors"
+
+// Typed datapath errors. Everything the controller can reject or
+// degrade on is errors.Is-able so hosts and tests can discriminate.
+var (
+	// ErrBadLPN reports a host request outside the logical capacity.
+	ErrBadLPN = errors.New("ftl: LPN out of logical capacity")
+	// ErrBufferCapacity reports an invalid write-buffer configuration.
+	ErrBufferCapacity = errors.New("ftl: write buffer capacity must be at least 1")
+	// ErrDegraded reports a write rejected because the device is in
+	// read-only degraded mode (free-block exhaustion after too many
+	// grown bad blocks). Reads and trims still work.
+	ErrDegraded = errors.New("ftl: device degraded to read-only (no usable free blocks)")
+	// ErrOutOfSpace reports a chip whose free-block pool is exhausted —
+	// the per-chip condition behind ErrDegraded.
+	ErrOutOfSpace = errors.New("ftl: chip out of free blocks")
+	// ErrAllocFailed reports a policy that could not place a word line
+	// even with fresh active blocks (a policy bug surfaced as an error
+	// instead of a crash; the chip is sidelined).
+	ErrAllocFailed = errors.New("ftl: policy failed to allocate a word line")
+)

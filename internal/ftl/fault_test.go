@@ -1,0 +1,312 @@
+package ftl
+
+import (
+	"errors"
+	"testing"
+
+	"cubeftl/internal/nand"
+	"cubeftl/internal/rng"
+	"cubeftl/internal/sim"
+	"cubeftl/internal/ssd"
+)
+
+// faultDevice builds a device for fault-handling tests: 2 chips, the
+// given block count, 8 layers, with data storage enabled so VerifyData
+// controllers can run the integrity oracle.
+func faultDevice(seed uint64, blocks int) (*sim.Engine, *ssd.Device) {
+	eng := sim.NewEngine()
+	cfg := ssd.DefaultConfig()
+	cfg.Buses = 1
+	cfg.ChipsPerBus = 2
+	cfg.Chip.Process.BlocksPerChip = blocks
+	cfg.Chip.Process.Layers = 8
+	cfg.Chip.StoreData = true
+	cfg.Seed = seed
+	return eng, ssd.New(eng, cfg)
+}
+
+// A targeted program failure on the first word line the controller
+// touches: the data must be re-issued elsewhere, the block retired, and
+// every page still verifiable.
+func TestProgramFailureRecovery(t *testing.T) {
+	eng, dev := faultDevice(7, 24)
+	// The controller's first flush lands on chip 0, block 0 (the pool is
+	// drained in block order), word line (0, 0).
+	dev.SetChipFaults(0, nand.FaultConfig{ProgramFailAt: []nand.Address{{Block: 0, Layer: 0, WL: 0}}})
+	cfg := DefaultControllerConfig()
+	cfg.WriteBufferPages = 32
+	cfg.VerifyData = true
+	c := NewController(dev, NewPagePolicy(), cfg)
+
+	done := 0
+	for lpn := LPN(0); lpn < 12; lpn++ {
+		if err := c.Write(lpn, func() { done++ }); err != nil {
+			t.Fatalf("Write(%d): %v", lpn, err)
+		}
+	}
+	eng.Run()
+	if done != 12 {
+		t.Fatalf("writes done = %d", done)
+	}
+	st := c.Stats()
+	if st.ProgramFailures != 1 {
+		t.Errorf("ProgramFailures = %d, want 1", st.ProgramFailures)
+	}
+	if st.RetiredBlocks != 1 {
+		t.Errorf("RetiredBlocks = %d, want 1", st.RetiredBlocks)
+	}
+	if st.FaultRecoveries == 0 {
+		t.Error("recovery not counted")
+	}
+	if !c.IsRetired(0, 0) {
+		t.Error("failed block not retired")
+	}
+	// Every page survived the failure and reads back with the right tag.
+	for lpn := LPN(0); lpn < 12; lpn++ {
+		if c.Mapper().Lookup(lpn) == ssd.UnmappedPPN {
+			t.Fatalf("LPN %d lost after program failure", lpn)
+		}
+		c.Read(lpn, func() {})
+	}
+	eng.Run()
+	if st.DataMismatches != 0 {
+		t.Errorf("DataMismatches = %d", st.DataMismatches)
+	}
+	if st.Uncorrectable != 0 {
+		t.Errorf("Uncorrectable = %d", st.Uncorrectable)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Erase failures during garbage collection must grow bad blocks without
+// upsetting translation state.
+func TestGCEraseFailureRetiresBlock(t *testing.T) {
+	eng, dev := faultDevice(11, 24)
+	dev.SetFaults(nand.FaultConfig{EraseFailRate: 0.5})
+	cfg := DefaultControllerConfig()
+	cfg.WriteBufferPages = 32
+	cfg.VerifyData = true
+	c := NewController(dev, NewPagePolicy(), cfg)
+
+	src := rng.New(5)
+	n := c.LogicalPages() * 5 / 10
+	ops := n * 6
+	outstanding := 0
+	var issue func()
+	issue = func() {
+		for outstanding < 12 && ops > 0 {
+			ops--
+			outstanding++
+			err := c.Write(LPN(src.Intn(n)), func() { outstanding--; issue() })
+			if err != nil {
+				// The 50% erase-failure rate may exhaust the device
+				// mid-test; stop issuing and audit what remains.
+				outstanding--
+				ops = 0
+			}
+		}
+	}
+	issue()
+	eng.Run()
+	st := c.Stats()
+	if st.GCCount == 0 {
+		t.Fatal("GC never ran")
+	}
+	if st.EraseFailures == 0 {
+		t.Error("50% erase-failure rate never fired")
+	}
+	if st.RetiredBlocks == 0 {
+		t.Error("erase failures retired no blocks")
+	}
+	if st.FaultRecoveries == 0 {
+		t.Error("recoveries not counted")
+	}
+	if st.DataMismatches != 0 {
+		t.Errorf("DataMismatches = %d", st.DataMismatches)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// With every erase failing, the free pools can only shrink: the device
+// must degrade to rejected writes — never a panic — while reads and
+// trims keep working.
+func TestDegradedModeReadOnly(t *testing.T) {
+	eng, dev := faultDevice(3, 12)
+	dev.SetFaults(nand.FaultConfig{EraseFailRate: 1})
+	cfg := DefaultControllerConfig()
+	cfg.WriteBufferPages = 16
+	cfg.VerifyData = true
+	c := NewController(dev, NewPagePolicy(), cfg)
+
+	src := rng.New(17)
+	n := c.LogicalPages() * 4 / 10
+	var degradedErr error
+	issued := 0
+	outstanding := 0
+	var issue func()
+	issue = func() {
+		for outstanding < 8 && degradedErr == nil && issued < 500_000 {
+			issued++
+			outstanding++
+			err := c.Write(LPN(src.Intn(n)), func() { outstanding--; issue() })
+			if err != nil {
+				outstanding--
+				degradedErr = err
+			}
+		}
+	}
+	issue()
+	eng.Run()
+	if degradedErr == nil {
+		t.Fatal("device never degraded under total erase failure")
+	}
+	if !errors.Is(degradedErr, ErrDegraded) {
+		t.Fatalf("write rejection = %v, want ErrDegraded", degradedErr)
+	}
+	if !c.Degraded() {
+		t.Error("Degraded() = false after rejection")
+	}
+	st := c.Stats()
+	if st.EraseFailures == 0 || st.RetiredBlocks == 0 {
+		t.Errorf("EraseFailures = %d RetiredBlocks = %d", st.EraseFailures, st.RetiredBlocks)
+	}
+	if st.WriteRejects == 0 {
+		t.Error("rejected writes not counted")
+	}
+	// The degraded device still serves reads and trims.
+	reads := 0
+	for lpn := LPN(0); lpn < 8; lpn++ {
+		c.Read(lpn, func() { reads++ })
+	}
+	c.Trim(0, nil)
+	eng.Run()
+	if reads != 8 {
+		t.Errorf("reads completed = %d, want 8", reads)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Factory-marked bad blocks must stay out of circulation from boot.
+func TestFactoryBadBlocksExcluded(t *testing.T) {
+	eng, dev := faultDevice(23, 64)
+	dev.SetFaults(nand.FaultConfig{FactoryBadRate: 0.1})
+	cfg := DefaultControllerConfig()
+	cfg.WriteBufferPages = 32
+	c := NewController(dev, NewPagePolicy(), cfg)
+
+	want := int64(0)
+	for chip := 0; chip < 2; chip++ {
+		for _, b := range dev.Chip(chip).NAND.FactoryBadBlocks() {
+			want++
+			if !c.IsRetired(chip, b) {
+				t.Errorf("factory bad block %d on chip %d not retired", b, chip)
+			}
+		}
+	}
+	if want == 0 {
+		t.Fatal("10% factory bad rate marked no blocks")
+	}
+	if got := c.Stats().FactoryBadBlocks; got != want {
+		t.Errorf("FactoryBadBlocks = %d, want %d", got, want)
+	}
+	for lpn := LPN(0); lpn < 300; lpn++ {
+		c.Write(lpn, func() {})
+	}
+	eng.Run()
+	if err := c.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Chaos soak: sustained program/erase/read fault rates over >=50k host
+// writes with the end-to-end integrity oracle on. The FTL must absorb
+// every fault — zero data mismatches, consistent translation state, and
+// non-trivial retirement/recovery activity.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	eng, dev := faultDevice(42, 64)
+	dev.SetFaults(nand.FaultConfig{
+		ProgramFailRate: 1e-3,
+		EraseFailRate:   1e-4,
+		ReadFaultRate:   1e-3,
+	})
+	cfg := DefaultControllerConfig()
+	cfg.WriteBufferPages = 64
+	cfg.VerifyData = true
+	c := NewController(dev, NewPagePolicy(), cfg)
+
+	src := rng.New(1234)
+	n := c.LogicalPages() * 3 / 10
+	ops := 85_000
+	outstanding := 0
+	var issue func()
+	issue = func() {
+		for outstanding < 16 && ops > 0 {
+			ops--
+			outstanding++
+			lpn := LPN(src.Intn(n))
+			done := func() { outstanding--; issue() }
+			switch src.Intn(10) {
+			case 0:
+				c.Trim(lpn, done)
+			case 1, 2, 3:
+				c.Read(lpn, done)
+			default:
+				if err := c.Write(lpn, done); err != nil {
+					t.Fatalf("host write failed mid-soak: %v", err)
+				}
+			}
+		}
+	}
+	issue()
+	eng.Run()
+	if !c.Drained() {
+		t.Fatal("not drained")
+	}
+	st := c.Stats()
+	if st.HostWrites < 50_000 {
+		t.Fatalf("soak completed only %d host writes, want >= 50000", st.HostWrites)
+	}
+	if st.ProgramFailures == 0 {
+		t.Error("1e-3 program-failure rate never fired")
+	}
+	if st.RetiredBlocks == 0 {
+		t.Error("no blocks retired")
+	}
+	if st.FaultRecoveries == 0 {
+		t.Error("no recoveries counted")
+	}
+	if st.ReadFaults == 0 {
+		t.Error("1e-3 transient read-fault rate never fired")
+	}
+	if st.DataMismatches != 0 {
+		t.Fatalf("DataMismatches = %d during soak", st.DataMismatches)
+	}
+	if c.Degraded() {
+		t.Error("device degraded under moderate fault rates")
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Full read-back sweep: every mapped page must verify.
+	for lpn := LPN(0); lpn < LPN(n); lpn++ {
+		if c.Mapper().Lookup(lpn) != ssd.UnmappedPPN {
+			c.Read(lpn, func() {})
+		}
+	}
+	eng.Run()
+	if st.DataMismatches != 0 {
+		t.Fatalf("DataMismatches = %d after read-back sweep", st.DataMismatches)
+	}
+	t.Logf("soak: writes=%d pfail=%d efail=%d rfault=%d retired=%d recoveries=%d gc=%d",
+		st.HostWrites, st.ProgramFailures, st.EraseFailures, st.ReadFaults,
+		st.RetiredBlocks, st.FaultRecoveries, st.GCCount)
+}

@@ -1,0 +1,137 @@
+package nand
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestProgramFailTrigger(t *testing.T) {
+	c := newChip(t)
+	a := Address{Block: 3, Layer: 0, WL: 1}
+	c.SetFaults(FaultConfig{ProgramFailAt: []Address{a}})
+	res, err := c.ProgramWL(a, nil, ProgramParams{})
+	if !errors.Is(err, ErrProgramFail) {
+		t.Fatalf("err = %v, want ErrProgramFail", err)
+	}
+	if res.LatencyNs <= 0 {
+		t.Error("failed program reported no latency (status is discovered after the ISPP sequence)")
+	}
+	if c.Stats().ProgramFails != 1 {
+		t.Errorf("ProgramFails = %d", c.Stats().ProgramFails)
+	}
+	// The word line is left in an indeterminate state: reads must not
+	// decode, and reprogramming without an erase is rejected.
+	if _, err := c.ReadPage(Address{Block: 3, Layer: 0, WL: 1, Page: 0}, ReadParams{}); !errors.Is(err, ErrUncorrectable) {
+		t.Errorf("read of failed WL err = %v, want ErrUncorrectable", err)
+	}
+	if _, err := c.ProgramWL(a, nil, ProgramParams{}); !errors.Is(err, ErrNotErased) {
+		t.Errorf("reprogram err = %v, want ErrNotErased", err)
+	}
+	// The trigger is one-shot: other word lines program fine.
+	mustProgram(t, c, Address{Block: 3, Layer: 0, WL: 0}, ProgramParams{})
+}
+
+func TestEraseFailGrowsBadBlock(t *testing.T) {
+	c := newChip(t)
+	c.SetFaults(FaultConfig{EraseFailAt: []int{5}})
+	mustProgram(t, c, Address{Block: 5}, ProgramParams{})
+	res, err := c.EraseBlock(5)
+	if !errors.Is(err, ErrEraseFail) {
+		t.Fatalf("err = %v, want ErrEraseFail", err)
+	}
+	if res.LatencyNs <= 0 {
+		t.Error("failed erase reported no latency")
+	}
+	if !c.IsBadBlock(5) {
+		t.Error("erase failure did not grow a bad block")
+	}
+	// Bad blocks reject program and erase.
+	if _, err := c.ProgramWL(Address{Block: 5, WL: 1}, nil, ProgramParams{}); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("program on bad block err = %v, want ErrBadBlock", err)
+	}
+	if _, err := c.EraseBlock(5); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("erase on bad block err = %v, want ErrBadBlock", err)
+	}
+	if c.Stats().EraseFails != 1 {
+		t.Errorf("EraseFails = %d", c.Stats().EraseFails)
+	}
+}
+
+func TestFactoryBadBlocksDeterministic(t *testing.T) {
+	sample := func() []int {
+		c := New(DefaultConfig())
+		c.SetFaults(FaultConfig{FactoryBadRate: 0.02})
+		return c.FactoryBadBlocks()
+	}
+	first := sample()
+	if len(first) == 0 {
+		t.Fatal("2% factory bad rate over 428 blocks produced none")
+	}
+	second := sample()
+	if len(first) != len(second) {
+		t.Fatalf("factory scan not deterministic: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("factory scan not deterministic: %v vs %v", first, second)
+		}
+	}
+	c := New(DefaultConfig())
+	c.SetFaults(FaultConfig{FactoryBadRate: 0.02})
+	for _, b := range c.FactoryBadBlocks() {
+		if !c.IsBadBlock(b) {
+			t.Errorf("factory bad block %d not marked bad", b)
+		}
+	}
+}
+
+func TestTransientReadFaultRecovers(t *testing.T) {
+	c := newChip(t)
+	a := Address{Block: 0, Layer: 0, WL: 0}
+	mustProgram(t, c, a, ProgramParams{})
+	c.SetFaults(FaultConfig{ReadFaultRate: 0.3})
+	faults, ok := 0, 0
+	for i := 0; i < 400; i++ {
+		_, err := c.ReadPage(Address{Block: 0, Page: i % 3}, ReadParams{})
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrReadFault):
+			faults++
+		default:
+			t.Fatalf("unexpected read error: %v", err)
+		}
+	}
+	if faults == 0 {
+		t.Error("30% transient fault rate never fired over 400 reads")
+	}
+	if ok == 0 {
+		t.Error("every read faulted — faults are not transient")
+	}
+	if c.Stats().ReadFaults != int64(faults) {
+		t.Errorf("ReadFaults = %d, observed %d", c.Stats().ReadFaults, faults)
+	}
+}
+
+func TestRateFaultsAreSeedDeterministic(t *testing.T) {
+	run := func() (int64, int64) {
+		c := New(DefaultConfig())
+		c.SetFaults(FaultConfig{ProgramFailRate: 0.05, EraseFailRate: 0.1})
+		for b := 0; b < 40; b++ {
+			for w := 0; w < 4; w++ {
+				c.ProgramWL(Address{Block: b, WL: w}, nil, ProgramParams{})
+			}
+			c.EraseBlock(b)
+		}
+		st := c.Stats()
+		return st.ProgramFails, st.EraseFails
+	}
+	p1, e1 := run()
+	p2, e2 := run()
+	if p1 == 0 || e1 == 0 {
+		t.Fatalf("rates never fired: programs %d erases %d", p1, e1)
+	}
+	if p1 != p2 || e1 != e2 {
+		t.Errorf("fault sequence not deterministic: (%d,%d) vs (%d,%d)", p1, e1, p2, e2)
+	}
+}

@@ -75,6 +75,10 @@ type blockState struct {
 	pe     int
 	wls    []wlState
 	erased bool
+	// bad marks a block unusable (factory mark or grown failure);
+	// program and erase operations against it fail with ErrBadBlock.
+	bad        bool
+	factoryBad bool
 	// reads counts page reads since the last erase; pass-through
 	// voltages on unselected word lines slowly disturb the whole block
 	// (read disturb), so heavily re-read blocks need a reclaim
@@ -108,6 +112,13 @@ type Chip struct {
 	// mispredictions the paper mentions (§4.2).
 	readJitterProb float64
 
+	// faults is the installed fault-injection config (zero = none);
+	// faultSrc is its dedicated randomness stream, derived from the
+	// chip seed so fault sequences are reproducible and independent of
+	// every other consumer.
+	faults   FaultConfig
+	faultSrc *rng.Source
+
 	// Counters for reporting.
 	stats Stats
 }
@@ -123,6 +134,11 @@ type Stats struct {
 	ReadFailures    int64
 	Erases          int64
 	Reprograms      int64 // programs flagged suspect by their measured BER
+
+	// Injected-fault counters (zero unless SetFaults armed the chip).
+	ProgramFails int64 // program-status failures
+	EraseFails   int64 // erase failures (each grows a bad block)
+	ReadFaults   int64 // transient read faults
 }
 
 // New builds a chip from cfg. The chip's randomness (ECC sampling,
@@ -138,6 +154,7 @@ func New(cfg Config) *Chip {
 		model:          m,
 		eccEng:         ecc.NewEngine(src.Derive("ecc")),
 		src:            src.Derive("ops"),
+		faultSrc:       src.Derive("faults"),
 		fixedRetention: -1,
 	}
 	c.blocks = make([]blockState, cfg.Process.BlocksPerChip)

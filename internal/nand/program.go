@@ -91,6 +91,9 @@ func (c *Chip) ProgramWL(a Address, pages [][]byte, params ProgramParams) (Progr
 		return res, err
 	}
 	blk := &c.blocks[a.Block]
+	if blk.bad {
+		return res, badBlockErr(a.Block)
+	}
 	st := &blk.wls[c.wlIndex(a)]
 	if st.programmed {
 		return res, fmt.Errorf("%w: %v", ErrNotErased, a)
@@ -197,6 +200,20 @@ func (c *Chip) ProgramWL(a Address, pages [][]byte, params ProgramParams) (Progr
 		latency += vth.TParamSetNs
 	}
 
+	// Injected program-status failure: the chip ran the full ISPP
+	// sequence but its internal status check reports the word line did
+	// not program. The word line's contents are indeterminate (any
+	// stray read must fail ECC) and the controller should retire the
+	// block after rewriting the data elsewhere.
+	if c.programFault(a) {
+		st.programmed = true
+		st.paramPenalty = 1e9 // garbage: unreadable at any offset
+		st.pages = nil
+		c.stats.ProgramFails++
+		res.LatencyNs = latency
+		return res, fmt.Errorf("%w: %v", ErrProgramFail, a)
+	}
+
 	// Stored reliability: parameter aggressiveness multiplies the
 	// process BER; a disturbance also degrades the margin adjustment.
 	paramPenalty := maxPenalty *
@@ -248,6 +265,18 @@ func (c *Chip) EraseBlock(block int) (EraseResult, error) {
 		return EraseResult{}, fmt.Errorf("%w: block %d", ErrBadAddress, block)
 	}
 	blk := &c.blocks[block]
+	if blk.bad {
+		return EraseResult{}, badBlockErr(block)
+	}
+	// Injected erase failure: the block no longer erases within spec.
+	// It spent the full erase time, keeps its (now untrustworthy)
+	// contents, and is marked grown-bad so later operations reject it.
+	if c.eraseFault(block) {
+		blk.bad = true
+		c.stats.EraseFails++
+		return EraseResult{LatencyNs: vth.TEraseNs, PECycles: blk.pe},
+			fmt.Errorf("%w: block %d", ErrEraseFail, block)
+	}
 	blk.pe++
 	blk.erased = true
 	blk.reads = 0 // erase heals accumulated read disturb

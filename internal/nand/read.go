@@ -59,6 +59,15 @@ func (c *Chip) ReadPage(a Address, params ReadParams) (ReadResult, error) {
 	}
 
 	c.blocks[a.Block].reads++
+
+	// Injected transient read fault: one wasted sense; a re-issued read
+	// draws fresh randomness and is expected to succeed.
+	if c.readFault() {
+		c.stats.Reads++
+		c.stats.ReadFaults++
+		res.LatencyNs = int64(vth.TWriteSetupNs) + vth.TReadNs
+		return res, fmt.Errorf("%w: %v", ErrReadFault, a)
+	}
 	optimal := c.model.OptimalOffset(a.Block, a.Layer, c.aging(a.Block))
 	if c.readJitterProb > 0 && optimal > 0 && c.src.Bool(c.readJitterProb) {
 		// Momentary environmental shift of the optimum (§4.2): only

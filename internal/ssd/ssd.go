@@ -205,6 +205,21 @@ func (d *Device) SetDisturbProb(p float64) {
 	}
 }
 
+// SetFaults installs one fault-injection config on every chip. Each
+// chip draws from its own seed-derived stream, so two chips with the
+// same config still fail at independent, reproducible points.
+func (d *Device) SetFaults(cfg nand.FaultConfig) {
+	for _, ch := range d.chips {
+		ch.NAND.SetFaults(cfg)
+	}
+}
+
+// SetChipFaults installs a fault-injection config on one chip
+// (per-chip fault shaping; e.g. a single marginal die).
+func (d *Device) SetChipFaults(chip int, cfg nand.FaultConfig) {
+	d.chips[chip].NAND.SetFaults(cfg)
+}
+
 // Read performs a timed page read: the chip is held for the sense (and
 // any retries), then the bus for the data transfer. done receives the
 // NAND result; on an uncorrectable page err is non-nil and the latency
@@ -236,8 +251,14 @@ func (d *Device) Program(chip int, a nand.Address, pages [][]byte, p nand.Progra
 		plane.Acquire(func() {
 			res, err := ch.NAND.ProgramWL(a, pages, p)
 			if err != nil {
-				plane.Release()
-				done(res, err)
+				// A program-status failure is only discovered after the
+				// full ISPP sequence: charge its time before completing.
+				// Validation rejections (bad address, bad block) carry no
+				// latency and complete immediately.
+				d.eng.After(res.LatencyNs, func() {
+					plane.Release()
+					done(res, err)
+				})
 				return
 			}
 			segments := 1
@@ -257,8 +278,12 @@ func (d *Device) Erase(chip, block int, done func(res nand.EraseResult, err erro
 	plane.Acquire(func() {
 		res, err := ch.NAND.EraseBlock(block)
 		if err != nil {
-			plane.Release()
-			done(res, err)
+			// Erase failures spend the full erase time before the status
+			// check reports them; validation rejections are instant.
+			d.eng.After(res.LatencyNs, func() {
+				plane.Release()
+				done(res, err)
+			})
 			return
 		}
 		segments := 1

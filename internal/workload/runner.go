@@ -26,6 +26,10 @@ type Result struct {
 	ElapsedNs sim.Time
 	ReadLat   *metrics.Hist // per-request read latency
 	WriteLat  *metrics.Hist // per-request write latency
+	// Rejects counts page writes the controller refused synchronously
+	// (degraded read-only mode). Rejected pages complete immediately so
+	// the closed loop keeps running against a failing device.
+	Rejects int64
 }
 
 // IOPS is the run's completed requests per simulated second.
@@ -76,8 +80,9 @@ func Run(ctrl *ftl.Controller, gen Generator, cfg RunConfig) Result {
 			}
 			if r.Op == Read {
 				ctrl.Read(lpn, pageDone)
-			} else {
-				ctrl.Write(lpn, pageDone)
+			} else if err := ctrl.Write(lpn, pageDone); err != nil {
+				res.Rejects++
+				pageDone()
 			}
 		}
 	}
@@ -130,11 +135,16 @@ func Prefill(ctrl *ftl.Controller, n int64) {
 			lpn := ftl.LPN(issued)
 			issued++
 			outstanding++
-			ctrl.Write(lpn, func() {
+			err := ctrl.Write(lpn, func() {
 				completed++
 				outstanding--
 				pump()
 			})
+			if err != nil {
+				// A degraded device cannot be prefilled further.
+				completed++
+				outstanding--
+			}
 		}
 	}
 	pump()
