@@ -2,7 +2,7 @@
 # long tests hide behind -short here; `make soak` runs them in full.
 GO ?= go
 
-.PHONY: tier1 build vet test race soak figures clean
+.PHONY: tier1 build vet test race soak figures demo clean
 
 tier1: build vet race
 
@@ -26,6 +26,10 @@ soak:
 # Regenerate every paper figure/extension table.
 figures:
 	$(GO) run ./cmd/paperfig
+
+# Multi-tenant QoS demo: RR vs WRR vs WRR + rate cap.
+demo:
+	$(GO) run ./examples/multi-tenant
 
 clean:
 	$(GO) clean ./...

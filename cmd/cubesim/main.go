@@ -6,12 +6,19 @@
 //
 //	cubesim -ftl cube -workload OLTP -requests 20000
 //	cubesim -ftl page -workload Rocks -pe 2000 -retention 12
+//
+// Multi-tenant mode drives several named streams through the
+// NVMe-style multi-queue host interface with QoS arbitration:
+//
+//	cubesim -queues "db=OLTP,web=Web" -arb wrr -weights 1,8 -requests 8000
+//	cubesim -queues "bulk=Rocks,hot=Web" -arb prio -prios 0,5 -rate 20000,0
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"cubeftl"
@@ -33,6 +40,12 @@ func main() {
 	rfault := flag.Float64("rfault", 0, "transient read fault rate per page read")
 	badblocks := flag.Float64("badblocks", 0, "fraction of blocks factory-marked bad at boot")
 	record := flag.String("record", "", "record the workload to a trace file and exit")
+	queues := flag.String("queues", "", "multi-tenant mode: comma-separated tenant streams, each 'workload' or 'name=workload' (e.g. 'db=OLTP,web=Web')")
+	arb := flag.String("arb", "rr", "queue arbitration: rr, wrr, prio")
+	weights := flag.String("weights", "", "per-tenant WRR weights, comma-separated (e.g. '8,1')")
+	rate := flag.String("rate", "", "per-tenant IOPS caps, comma-separated; 0 = unlimited (e.g. '0,20000')")
+	prios := flag.String("prios", "", "per-tenant strict-priority classes, comma-separated; higher = more urgent")
+	width := flag.Int("width", 32, "device dispatch width shared by all tenant queues (multi-tenant mode)")
 	flag.Parse()
 
 	opts := cubeftl.Options{
@@ -71,8 +84,18 @@ func main() {
 	if *prefill {
 		n := int64(dev.LogicalPages()) * 6 / 10
 		fmt.Printf("prefilling %d pages...\n", n)
-		dev.Prefill(n)
+		if written := dev.Prefill(n); written < n {
+			fmt.Printf("prefill stopped early: %d/%d pages (device degraded)\n", written, n)
+		}
 		dev.ResetStats()
+	}
+
+	if *queues != "" {
+		if err := runMultiTenant(dev, *queues, *arb, *weights, *rate, *prios, *width, *requests, *qd); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var st cubeftl.RunStats
@@ -115,4 +138,87 @@ func main() {
 		fmt.Printf("  PS-aware: %d leaders, %d followers, %d safety rejects, ORT %d hits / %d misses (%d bytes)\n",
 			cs.LeaderPrograms, cs.FollowerPrograms, cs.SafetyRejects, cs.ORTHits, cs.ORTMisses, cs.ORTBytes)
 	}
+}
+
+// splitList parses a comma-separated numeric flag into per-tenant
+// values: empty spec means all-default (zero), otherwise exactly one
+// value per tenant (an empty entry, as in "8,,1", keeps the default).
+func splitList(spec string, n int) ([]float64, error) {
+	out := make([]float64, n)
+	if spec == "" {
+		return out, nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("%d values for %d tenants", len(parts), n)
+	}
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// runMultiTenant drives the comma-separated tenant streams through the
+// multi-queue host interface and prints per-tenant QoS accounting.
+func runMultiTenant(dev *cubeftl.SSD, queues, arb, weights, rate, prios string, width, requests, qd int) error {
+	var tenants []cubeftl.TenantConfig
+	for _, part := range strings.Split(queues, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wl := "", part
+		if eq := strings.IndexByte(part, '='); eq >= 0 {
+			name, wl = part[:eq], part[eq+1:]
+		}
+		tenants = append(tenants, cubeftl.TenantConfig{
+			Name: name, Workload: wl, Requests: requests, QueueDepth: qd,
+		})
+	}
+	if len(tenants) == 0 {
+		return fmt.Errorf("cubesim: -queues named no tenants")
+	}
+	ws, err := splitList(weights, len(tenants))
+	if err != nil {
+		return fmt.Errorf("cubesim: -weights: %v", err)
+	}
+	rs, err := splitList(rate, len(tenants))
+	if err != nil {
+		return fmt.Errorf("cubesim: -rate: %v", err)
+	}
+	ps, err := splitList(prios, len(tenants))
+	if err != nil {
+		return fmt.Errorf("cubesim: -prios: %v", err)
+	}
+	for i := range tenants {
+		tenants[i].Weight = int(ws[i])
+		tenants[i].RateIOPS = rs[i]
+		tenants[i].Priority = int(ps[i])
+	}
+	st, err := dev.RunTenants(tenants, arb, width)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d tenants, %s arbitration, dispatch width %d: %v simulated, %d grants (trace %016x)\n",
+		len(st.Tenants), arb, width, st.Elapsed, st.Grants, st.TraceHash)
+	fmt.Printf("%-10s %10s %12s %12s %12s %12s %8s %9s %9s\n",
+		"tenant", "IOPS", "read p50", "read p99", "read p99.9", "write p99", "grants", "qfulls", "throttles")
+	for _, t := range st.Tenants {
+		fmt.Printf("%-10s %10.0f %12v %12v %12v %12v %8d %9d %9d\n",
+			t.Name, t.IOPS, t.ReadP50, t.ReadP99, t.ReadP999, t.WriteP99,
+			t.Grants, t.QueueFulls, t.Throttles)
+		if t.Rejects > 0 {
+			fmt.Printf("%-10s   %d pages rejected (degraded device)\n", "", t.Rejects)
+		}
+	}
+	fmt.Printf("aggregate: read p99 %v, write p99 %v\n", st.AggReadP99, st.AggWriteP99)
+	return nil
 }

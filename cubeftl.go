@@ -27,6 +27,7 @@ import (
 
 	"cubeftl/internal/core"
 	"cubeftl/internal/ftl"
+	"cubeftl/internal/host"
 	"cubeftl/internal/nand"
 	"cubeftl/internal/sim"
 	"cubeftl/internal/ssd"
@@ -229,18 +230,21 @@ func (s *SSD) Run() {
 }
 
 // Prefill sequentially writes logical pages [0, n) so subsequent reads
-// hit mapped flash and the device reaches steady state.
-func (s *SSD) Prefill(n int64) {
-	workload.Prefill(s.ctrl, n)
+// hit mapped flash and the device reaches steady state. It returns the
+// pages actually written: fewer than n if the device degraded to
+// read-only (or n exceeded the logical capacity) mid-prefill.
+func (s *SSD) Prefill(n int64) int64 {
+	return workload.Prefill(s.ctrl, n)
 }
 
 // ResetStats clears accumulated measurements (use after Prefill).
 func (s *SSD) ResetStats() { s.ctrl.ResetStats() }
 
-// Workloads lists the named evaluation workloads.
+// Workloads lists every named workload Run/RunTenants accept: the six
+// evaluation streams plus the extended profiles (YCSB-B, YCSB-C, Bulk).
 func Workloads() []string {
-	names := make([]string, 0, len(workload.All))
-	for _, p := range workload.All {
+	names := make([]string, 0, len(workload.Extended))
+	for _, p := range workload.Extended {
 		names = append(names, p.Name)
 	}
 	return names
@@ -308,6 +312,153 @@ func (s *SSD) RunWorkload(name string, requests, queueDepth int) (RunStats, erro
 		FaultRecoveries: st.FaultRecoveries,
 		WriteRejects:    st.WriteRejects,
 	}, nil
+}
+
+// Arbitration policy names accepted by RunTenants.
+const (
+	ArbRR   = "rr"   // round-robin
+	ArbWRR  = "wrr"  // weighted round-robin over TenantConfig.Weight
+	ArbPrio = "prio" // strict priority with a starvation guard
+)
+
+// DefaultStarvationGuard bounds how long a low-priority queue's head
+// command can wait under the "prio" arbiter before it is served ahead
+// of higher-priority queues.
+const DefaultStarvationGuard = 2 * time.Millisecond
+
+// TenantConfig describes one tenant stream of a multi-tenant run: a
+// named workload driven closed-loop through its own NVMe-style
+// submission/completion queue pair.
+type TenantConfig struct {
+	Name     string // defaults to Workload
+	Workload string // one of Workloads()
+	Requests int    // requests to complete (default 10000)
+	// QueueDepth bounds the tenant's outstanding commands (admission
+	// control; default 16).
+	QueueDepth int
+	// Weight is the WRR share (>= 1; "wrr" arbiter).
+	Weight int
+	// Priority is the strict-priority class; higher is more urgent
+	// ("prio" arbiter).
+	Priority int
+	// RateIOPS token-bucket rate limits the tenant; 0 = unlimited.
+	RateIOPS float64
+}
+
+// TenantRunStats is one tenant's view of a multi-tenant run. Latencies
+// are host-visible: submission-queue wait plus device service.
+type TenantRunStats struct {
+	Name     string
+	Requests int64
+	Elapsed  time.Duration
+	IOPS     float64
+
+	ReadP50, ReadP99, ReadP999    time.Duration
+	WriteP50, WriteP99, WriteP999 time.Duration
+
+	// QueueFulls counts submissions bounced by admission control,
+	// Throttles rate-limiter stalls, Rejects degraded-device write
+	// rejections, Grants arbitration wins.
+	QueueFulls  int64
+	Throttles   int64
+	Rejects     int64
+	Grants      int64
+	MaxHeadWait time.Duration
+}
+
+// MultiTenantStats summarizes a multi-tenant run.
+type MultiTenantStats struct {
+	Tenants []TenantRunStats
+	Elapsed time.Duration
+	// TraceHash fingerprints the arbitration grant sequence — equal
+	// hashes mean bit-identical scheduling for a fixed seed.
+	TraceHash uint64
+	Grants    int64
+	// Aggregate percentiles across every tenant (merged histograms).
+	AggReadP99  time.Duration
+	AggWriteP99 time.Duration
+}
+
+// RunTenants drives the tenant streams concurrently through an
+// NVMe-style multi-queue host front end feeding the FTL, arbitrated by
+// arb (ArbRR, ArbWRR or ArbPrio). dispatchWidth bounds commands
+// concurrently outstanding at the device across all tenants — the
+// contended resource QoS divides; 0 defaults to the sum of queue
+// depths.
+func (s *SSD) RunTenants(tenants []TenantConfig, arb string, dispatchWidth int) (MultiTenantStats, error) {
+	if len(tenants) == 0 {
+		return MultiTenantStats{}, fmt.Errorf("cubeftl: no tenants")
+	}
+	arbiter, err := host.NewArbiter(arb, int64(DefaultStarvationGuard))
+	if err != nil {
+		return MultiTenantStats{}, err
+	}
+	specs := make([]workload.TenantSpec, 0, len(tenants))
+	for i, tc := range tenants {
+		prof, ok := workload.ByName(tc.Workload)
+		if !ok {
+			return MultiTenantStats{}, fmt.Errorf("cubeftl: unknown workload %q (have %v)", tc.Workload, Workloads())
+		}
+		name := tc.Name
+		if name == "" {
+			name = prof.Name
+		}
+		requests := tc.Requests
+		if requests <= 0 {
+			requests = 10000
+		}
+		depth := tc.QueueDepth
+		if depth <= 0 {
+			depth = 16
+		}
+		seed := s.dev.Config().Seed + 0xABCD + uint64(i)*0x9E3779B9
+		specs = append(specs, workload.TenantSpec{
+			Gen:      workload.NewStream(prof, s.ctrl.LogicalPages(), seed),
+			Requests: requests,
+			Queue: host.QueueConfig{
+				Tenant:   name,
+				Depth:    depth,
+				Weight:   tc.Weight,
+				Priority: tc.Priority,
+				RateIOPS: tc.RateIOPS,
+			},
+		})
+	}
+	mr, err := workload.RunTenants(s.ctrl, specs, workload.MultiRunConfig{
+		Arbiter:       arbiter,
+		DispatchWidth: dispatchWidth,
+	})
+	if err != nil {
+		return MultiTenantStats{}, err
+	}
+	out := MultiTenantStats{
+		Elapsed:   time.Duration(mr.ElapsedNs),
+		TraceHash: mr.TraceHash,
+		Grants:    mr.Grants,
+	}
+	for _, tr := range mr.Tenants {
+		out.Tenants = append(out.Tenants, TenantRunStats{
+			Name:        tr.Name,
+			Requests:    tr.Requests,
+			Elapsed:     time.Duration(tr.ElapsedNs),
+			IOPS:        tr.IOPS(),
+			ReadP50:     time.Duration(tr.ReadLat.Percentile(50)),
+			ReadP99:     time.Duration(tr.ReadLat.Percentile(99)),
+			ReadP999:    time.Duration(tr.ReadLat.Percentile(99.9)),
+			WriteP50:    time.Duration(tr.WriteLat.Percentile(50)),
+			WriteP99:    time.Duration(tr.WriteLat.Percentile(99)),
+			WriteP999:   time.Duration(tr.WriteLat.Percentile(99.9)),
+			QueueFulls:  tr.QueueFulls,
+			Throttles:   tr.Throttles,
+			Rejects:     tr.Rejects,
+			Grants:      tr.Grants,
+			MaxHeadWait: time.Duration(tr.MaxHeadWaitNs),
+		})
+	}
+	aggR, aggW := mr.Aggregate()
+	out.AggReadP99 = time.Duration(aggR.Percentile(99))
+	out.AggWriteP99 = time.Duration(aggW.Percentile(99))
+	return out, nil
 }
 
 // CubeStats reports the PS-aware decision counters when the SSD runs a

@@ -119,10 +119,11 @@ func TestCubeStatsZeroForBaselines(t *testing.T) {
 
 func TestWorkloadsList(t *testing.T) {
 	ws := Workloads()
-	if len(ws) != 6 {
+	if len(ws) != 9 {
 		t.Fatalf("workloads = %v", ws)
 	}
-	want := map[string]bool{"Mail": true, "Web": true, "Proxy": true, "OLTP": true, "Rocks": true, "Mongo": true}
+	want := map[string]bool{"Mail": true, "Web": true, "Proxy": true, "OLTP": true,
+		"Rocks": true, "Mongo": true, "YCSB-B": true, "YCSB-C": true, "Bulk": true}
 	for _, w := range ws {
 		if !want[w] {
 			t.Errorf("unexpected workload %q", w)

@@ -1,0 +1,158 @@
+package host
+
+import (
+	"fmt"
+
+	"cubeftl/internal/sim"
+)
+
+// QueueState is the arbiter-visible snapshot of one eligible submission
+// queue at a grant decision: a queue appears here only when it has a
+// fetchable command (non-empty and not blocked by its rate limiter).
+type QueueState struct {
+	// Index identifies the queue within the host (stable across calls).
+	Index int
+	// Weight is the queue's WRR weight (>= 1).
+	Weight int
+	// Priority is the queue's strict-priority class; higher is more
+	// urgent.
+	Priority int
+	// Pending is the number of fetchable commands waiting in the queue.
+	Pending int
+	// HeadWaitNs is how long the queue's head command has been waiting
+	// since submission.
+	HeadWaitNs int64
+}
+
+// Arbiter selects which submission queue the device fetches from next.
+// Pick is called once per grant with the eligible queues (always at
+// least one) in ascending Index order and must return one of their
+// Index values. Implementations may keep state between calls but must
+// be deterministic: the same call sequence yields the same grants.
+type Arbiter interface {
+	Name() string
+	Pick(eligible []QueueState, now sim.Time) int
+}
+
+// NewArbiter builds one of the named arbitration policies: "rr"
+// (round-robin), "wrr" (weighted round-robin over QueueConfig.Weight),
+// or "prio" (strict priority over QueueConfig.Priority with a
+// starvation guard of guardNs; guardNs <= 0 disables the guard).
+func NewArbiter(name string, guardNs int64) (Arbiter, error) {
+	switch name {
+	case "", "rr":
+		return NewRoundRobin(), nil
+	case "wrr":
+		return NewWeightedRoundRobin(), nil
+	case "prio":
+		return NewStrictPriority(guardNs), nil
+	}
+	return nil, fmt.Errorf("host: unknown arbiter %q (have rr, wrr, prio)", name)
+}
+
+// roundRobin grants queues in cyclic index order.
+type roundRobin struct {
+	last int // index granted last, -1 initially
+}
+
+// NewRoundRobin returns the plain round-robin arbiter: each eligible
+// queue gets one grant per cycle regardless of weight or priority.
+func NewRoundRobin() Arbiter { return &roundRobin{last: -1} }
+
+func (r *roundRobin) Name() string { return "rr" }
+
+func (r *roundRobin) Pick(eligible []QueueState, _ sim.Time) int {
+	// First eligible index strictly after the last grant, wrapping.
+	for _, q := range eligible {
+		if q.Index > r.last {
+			r.last = q.Index
+			return q.Index
+		}
+	}
+	r.last = eligible[0].Index
+	return r.last
+}
+
+// weightedRoundRobin serves each queue up to Weight grants per cycle:
+// with weights 8:1 the first queue receives 8 grants for every 1 of the
+// second whenever both are backlogged, while an idle queue forfeits its
+// share to the others (work-conserving).
+type weightedRoundRobin struct {
+	credits []int
+}
+
+// NewWeightedRoundRobin returns the weighted round-robin arbiter.
+func NewWeightedRoundRobin() Arbiter { return &weightedRoundRobin{} }
+
+func (w *weightedRoundRobin) Name() string { return "wrr" }
+
+func (w *weightedRoundRobin) Pick(eligible []QueueState, _ sim.Time) int {
+	maxIdx := eligible[len(eligible)-1].Index
+	for maxIdx >= len(w.credits) {
+		w.credits = append(w.credits, 0)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range eligible {
+			if w.credits[q.Index] > 0 {
+				w.credits[q.Index]--
+				return q.Index
+			}
+		}
+		// Every eligible queue exhausted its credit: start a new cycle.
+		for _, q := range eligible {
+			c := q.Weight
+			if c < 1 {
+				c = 1
+			}
+			w.credits[q.Index] = c
+		}
+	}
+	return eligible[0].Index // unreachable: the refill pass always grants
+}
+
+// strictPriority always grants the highest-priority eligible queue,
+// except that a head command older than guardNs is served first
+// (oldest head wins) so low-priority queues cannot starve behind a
+// saturating high-priority tenant. Rescues are throttled to one per
+// guard period per queue: under a saturating low-priority stream every
+// head exceeds the guard the moment it reaches the front, and without
+// the throttle the "guard" would degenerate into serving that stream
+// continuously, inverting the priority order.
+type strictPriority struct {
+	guardNs    int64
+	lastRescue map[int]sim.Time
+}
+
+// NewStrictPriority returns the strict-priority arbiter. guardNs <= 0
+// disables the starvation guard (pure strict priority).
+func NewStrictPriority(guardNs int64) Arbiter {
+	return &strictPriority{guardNs: guardNs, lastRescue: map[int]sim.Time{}}
+}
+
+func (p *strictPriority) Name() string { return "prio" }
+
+func (p *strictPriority) Pick(eligible []QueueState, now sim.Time) int {
+	if p.guardNs > 0 {
+		starving, wait := -1, int64(0)
+		for _, q := range eligible {
+			if q.HeadWaitNs < p.guardNs || q.HeadWaitNs <= wait {
+				continue
+			}
+			if last, ok := p.lastRescue[q.Index]; ok && now-last < p.guardNs {
+				continue // rescued recently: wait out a full guard period
+			}
+			starving, wait = q.Index, q.HeadWaitNs
+		}
+		if starving >= 0 {
+			p.lastRescue[starving] = now
+			return starving
+		}
+	}
+	best := eligible[0]
+	for _, q := range eligible[1:] {
+		if q.Priority > best.Priority {
+			best = q
+		}
+	}
+	return best.Index
+}

@@ -1,0 +1,479 @@
+// Package host is the NVMe-style multi-queue front end of the
+// simulated SSD: N submission/completion queue pairs, each owned by a
+// named tenant, feeding the single FTL controller through the
+// deterministic event engine.
+//
+// Each queue pair has bounded depth (admission control: a full queue
+// rejects with ErrQueueFull so submitters feel backpressure instead of
+// unbounded buffering), an optional token-bucket rate limit, and a WRR
+// weight / strict-priority class consumed by the pluggable Arbiter.
+// The device fetches commands from the queues through the arbiter
+// whenever one of its DispatchWidth slots is free, so host-visible
+// latency is SQ wait + device service — the controller's own histograms
+// keep measuring the device-side component.
+//
+// Everything runs on the simulation engine's single-threaded event
+// loop: the same configuration and seed replay bit-for-bit, including
+// the arbitration grant sequence (exposed as an FNV-1a trace hash).
+package host
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cubeftl/internal/ftl"
+	"cubeftl/internal/metrics"
+	"cubeftl/internal/sim"
+)
+
+// Typed host-interface errors.
+var (
+	// ErrQueueFull reports a submission refused because the queue pair
+	// is at its configured depth (admission control / backpressure).
+	ErrQueueFull = errors.New("host: submission queue full")
+	// ErrBadQueue reports a submission to a queue that does not exist.
+	ErrBadQueue = errors.New("host: no such queue")
+	// ErrNoQueues reports a host configured without queue pairs.
+	ErrNoQueues = errors.New("host: at least one queue pair required")
+)
+
+// Op is a host command direction.
+type Op int
+
+// Command operations.
+const (
+	Read Op = iota
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Command is one host I/O: an operation over Pages consecutive logical
+// pages starting at LPN. Done (optional) runs in simulated time when
+// every page has completed.
+type Command struct {
+	Op    Op
+	LPN   int64
+	Pages int
+	Done  func(c Completion)
+}
+
+// Completion reports one finished command back to its submitter.
+type Completion struct {
+	SubmitNs sim.Time // when Submit accepted the command
+	DoneNs   sim.Time // when the last page completed
+	// LatencyNs is the host-visible latency: SQ wait + device service.
+	LatencyNs int64
+	// RejectedPages counts pages the controller refused synchronously
+	// (degraded read-only device); they complete immediately.
+	RejectedPages int
+}
+
+// QueueConfig describes one submission/completion queue pair.
+type QueueConfig struct {
+	// Tenant names the queue's owner (defaults to "q<index>").
+	Tenant string
+	// Depth bounds the queue occupancy — commands submitted but not yet
+	// completed. Submissions beyond it fail with ErrQueueFull.
+	// Defaults to 32.
+	Depth int
+	// Weight is the WRR share (>= 1; used by the "wrr" arbiter).
+	Weight int
+	// Priority is the strict-priority class; higher is more urgent
+	// (used by the "prio" arbiter).
+	Priority int
+	// RateIOPS token-bucket rate limits the queue's command fetch rate;
+	// 0 disables limiting. A multi-page command consumes one token.
+	RateIOPS float64
+	// BurstIOs is the token bucket capacity; defaults to Depth.
+	BurstIOs int
+}
+
+// Config assembles a host front end.
+type Config struct {
+	Queues []QueueConfig
+	// Arb picks the next queue to fetch from; nil selects round-robin.
+	Arb Arbiter
+	// DispatchWidth bounds commands concurrently outstanding at the
+	// device across all queues — the shared resource arbitration
+	// divides. 0 defaults to the sum of queue depths (no device-side
+	// narrowing beyond per-queue backpressure).
+	DispatchWidth int
+	// TraceCap keeps the most recent grants in a replayable trace for
+	// debugging (0 disables; the rolling hash is always maintained).
+	TraceCap int
+}
+
+// TenantStats is the per-tenant accounting of one queue pair.
+type TenantStats struct {
+	Tenant string
+	Queue  int
+
+	Submitted int64 // commands accepted into the queue
+	Completed int64
+	Reads     int64 // completed read commands
+	Writes    int64 // completed write commands
+
+	// QueueFulls counts submissions refused with ErrQueueFull.
+	QueueFulls int64
+	// RejectedPages counts pages the degraded device refused.
+	RejectedPages int64
+	// Grants counts device fetches won in arbitration.
+	Grants int64
+	// Throttles counts pump passes where this queue held work but was
+	// blocked by its token bucket.
+	Throttles int64
+	// MaxHeadWaitNs is the longest any command waited at the queue head
+	// before being fetched — the starvation figure of merit.
+	MaxHeadWaitNs int64
+
+	FirstSubmitNs sim.Time
+	LastDoneNs    sim.Time
+
+	ReadLat  *metrics.Hist // host-visible read latency (ns)
+	WriteLat *metrics.Hist // host-visible write latency (ns)
+}
+
+// IOPS returns completed commands per simulated second over the
+// tenant's active window (first submit to last completion).
+func (t *TenantStats) IOPS() float64 {
+	return metrics.IOPS(t.Completed, t.LastDoneNs-t.FirstSubmitNs)
+}
+
+type sqe struct {
+	cmd    Command
+	submit sim.Time
+}
+
+type queue struct {
+	cfg       QueueConfig
+	sq        []sqe // waiting commands; sq[head:] is the live window
+	head      int
+	occupancy int // waiting + dispatched, bounded by cfg.Depth
+
+	// Token bucket (RateIOPS > 0 only).
+	tokens     float64
+	burst      float64
+	lastRefill sim.Time
+	wakeArmed  bool
+}
+
+func (q *queue) pendingLen() int { return len(q.sq) - q.head }
+
+func (q *queue) push(e sqe) { q.sq = append(q.sq, e) }
+
+func (q *queue) pop() sqe {
+	e := q.sq[q.head]
+	q.sq[q.head] = sqe{}
+	q.head++
+	if q.head == len(q.sq) {
+		q.sq, q.head = q.sq[:0], 0
+	}
+	return e
+}
+
+func (q *queue) refillTokens(now sim.Time) {
+	if q.cfg.RateIOPS <= 0 {
+		return
+	}
+	if dt := now - q.lastRefill; dt > 0 {
+		q.tokens = math.Min(q.burst, q.tokens+q.cfg.RateIOPS*float64(dt)/1e9)
+		q.lastRefill = now
+	}
+}
+
+const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+
+// Host is the multi-queue front end over one FTL controller.
+type Host struct {
+	eng    *sim.Engine
+	ctrl   *ftl.Controller
+	arb    Arbiter
+	queues []*queue
+	stats  []*TenantStats
+	width  int
+
+	inflight int // commands dispatched to the device, not yet complete
+	pumping  bool
+	repump   bool
+
+	grants    int64
+	traceHash uint64
+	trace     []int
+	traceCap  int
+
+	scratch []QueueState // reused eligible-set buffer
+}
+
+// New wires a host front end over the controller. The controller's
+// engine drives all queue and completion events.
+func New(ctrl *ftl.Controller, cfg Config) (*Host, error) {
+	if len(cfg.Queues) == 0 {
+		return nil, ErrNoQueues
+	}
+	arb := cfg.Arb
+	if arb == nil {
+		arb = NewRoundRobin()
+	}
+	h := &Host{
+		eng:       ctrl.Engine(),
+		ctrl:      ctrl,
+		arb:       arb,
+		traceHash: fnvOffset,
+		traceCap:  cfg.TraceCap,
+	}
+	sumDepth := 0
+	for i, qc := range cfg.Queues {
+		if qc.Tenant == "" {
+			qc.Tenant = fmt.Sprintf("q%d", i)
+		}
+		if qc.Depth <= 0 {
+			qc.Depth = 32
+		}
+		if qc.Weight < 1 {
+			qc.Weight = 1
+		}
+		if qc.BurstIOs <= 0 {
+			qc.BurstIOs = qc.Depth
+		}
+		sumDepth += qc.Depth
+		q := &queue{cfg: qc}
+		if qc.RateIOPS > 0 {
+			q.burst = float64(qc.BurstIOs)
+			q.tokens = q.burst // start full: an idle tenant may burst
+		}
+		h.queues = append(h.queues, q)
+		h.stats = append(h.stats, &TenantStats{
+			Tenant:   qc.Tenant,
+			Queue:    i,
+			ReadLat:  metrics.NewHist(0),
+			WriteLat: metrics.NewHist(0),
+		})
+	}
+	h.width = cfg.DispatchWidth
+	if h.width <= 0 {
+		h.width = sumDepth
+	}
+	return h, nil
+}
+
+// Arbiter returns the active arbitration policy.
+func (h *Host) Arbiter() Arbiter { return h.arb }
+
+// Queues returns the number of queue pairs.
+func (h *Host) Queues() int { return len(h.queues) }
+
+// Controller returns the FTL datapath behind the host interface.
+func (h *Host) Controller() *ftl.Controller { return h.ctrl }
+
+// Stats returns queue q's live tenant accounting (updated in place).
+func (h *Host) Stats(q int) *TenantStats { return h.stats[q] }
+
+// StatsAll returns every queue's accounting in queue order.
+func (h *Host) StatsAll() []*TenantStats { return h.stats }
+
+// Grants returns the total arbitration grants issued.
+func (h *Host) Grants() int64 { return h.grants }
+
+// TraceHash returns the FNV-1a hash over the full grant sequence —
+// equal hashes mean bit-identical arbitration decisions.
+func (h *Host) TraceHash() uint64 { return h.traceHash }
+
+// Trace returns the most recent granted queue indices (TraceCap > 0).
+func (h *Host) Trace() []int { return h.trace }
+
+// Outstanding returns commands submitted but not yet completed, across
+// all queues.
+func (h *Host) Outstanding() int {
+	n := 0
+	for _, q := range h.queues {
+		n += q.occupancy
+	}
+	return n
+}
+
+// Submit accepts a command into queue q, or rejects it with
+// ErrQueueFull (the queue is at depth) / ErrBadQueue. Completion is
+// delivered through cmd.Done in simulated time; advance the engine
+// (e.g. Drain) to make progress.
+func (h *Host) Submit(qid int, cmd Command) error {
+	if qid < 0 || qid >= len(h.queues) {
+		return fmt.Errorf("%w: %d (have %d)", ErrBadQueue, qid, len(h.queues))
+	}
+	q, st := h.queues[qid], h.stats[qid]
+	if q.occupancy >= q.cfg.Depth {
+		st.QueueFulls++
+		return fmt.Errorf("%w: %s (depth %d)", ErrQueueFull, q.cfg.Tenant, q.cfg.Depth)
+	}
+	now := h.eng.Now()
+	if st.Submitted == 0 {
+		st.FirstSubmitNs = now
+	}
+	st.Submitted++
+	q.occupancy++
+	q.push(sqe{cmd: cmd, submit: now})
+	h.pump()
+	return nil
+}
+
+// Drain advances the simulation until every submitted command has
+// completed and the controller has quiesced.
+func (h *Host) Drain() {
+	h.eng.RunWhile(func() bool { return h.Outstanding() > 0 })
+	h.eng.RunWhile(func() bool { return !h.ctrl.Drained() })
+}
+
+// pump runs the dispatch loop, flattening reentrant calls (a command
+// can complete synchronously when a degraded device rejects its
+// writes) into repeat passes.
+func (h *Host) pump() {
+	if h.pumping {
+		h.repump = true
+		return
+	}
+	h.pumping = true
+	for {
+		h.repump = false
+		h.dispatch()
+		if !h.repump {
+			break
+		}
+	}
+	h.pumping = false
+}
+
+// dispatch fetches commands through the arbiter while device slots and
+// eligible queues remain.
+func (h *Host) dispatch() {
+	for h.inflight < h.width {
+		now := h.eng.Now()
+		el := h.scratch[:0]
+		for i, q := range h.queues {
+			if q.pendingLen() == 0 {
+				continue
+			}
+			q.refillTokens(now)
+			if q.cfg.RateIOPS > 0 && q.tokens < 1 {
+				h.armWake(i, now)
+				continue
+			}
+			el = append(el, QueueState{
+				Index:      i,
+				Weight:     q.cfg.Weight,
+				Priority:   q.cfg.Priority,
+				Pending:    q.pendingLen(),
+				HeadWaitNs: now - q.sq[q.head].submit,
+			})
+		}
+		h.scratch = el[:0]
+		if len(el) == 0 {
+			return
+		}
+		idx := h.arb.Pick(el, now)
+		h.grant(idx, now)
+	}
+}
+
+// grant fetches the head command of queue idx and issues it.
+func (h *Host) grant(idx int, now sim.Time) {
+	q, st := h.queues[idx], h.stats[idx]
+	e := q.pop()
+	if q.cfg.RateIOPS > 0 {
+		q.tokens--
+	}
+	st.Grants++
+	if wait := now - e.submit; wait > st.MaxHeadWaitNs {
+		st.MaxHeadWaitNs = wait
+	}
+	h.grants++
+	h.traceHash = (h.traceHash ^ uint64(idx+1)) * fnvPrime
+	if h.traceCap > 0 {
+		if len(h.trace) == h.traceCap {
+			h.trace = append(h.trace[:0], h.trace[1:]...)
+		}
+		h.trace = append(h.trace, idx)
+	}
+	h.inflight++
+	h.issue(idx, e)
+}
+
+// issue drives one command's pages through the controller.
+func (h *Host) issue(qid int, e sqe) {
+	st := h.stats[qid]
+	pages := e.cmd.Pages
+	if pages < 1 {
+		pages = 1
+	}
+	remaining, rejected := pages, 0
+	pageDone := func() {
+		remaining--
+		if remaining == 0 {
+			h.complete(qid, e, rejected)
+		}
+	}
+	for p := 0; p < pages; p++ {
+		lpn := ftl.LPN(e.cmd.LPN + int64(p))
+		if e.cmd.Op == Read {
+			h.ctrl.Read(lpn, pageDone)
+		} else if err := h.ctrl.Write(lpn, pageDone); err != nil {
+			// Degraded (or out-of-range) page: counted and completed
+			// immediately, like a media-error status in the CQE.
+			rejected++
+			st.RejectedPages++
+			pageDone()
+		}
+	}
+}
+
+// complete retires one command: per-tenant accounting, queue slot
+// release, submitter callback, and a dispatch pass for the freed slot.
+func (h *Host) complete(qid int, e sqe, rejectedPages int) {
+	now := h.eng.Now()
+	st := h.stats[qid]
+	lat := now - e.submit
+	if e.cmd.Op == Read {
+		st.ReadLat.Add(lat)
+		st.Reads++
+	} else {
+		st.WriteLat.Add(lat)
+		st.Writes++
+	}
+	st.Completed++
+	st.LastDoneNs = now
+	h.queues[qid].occupancy--
+	h.inflight--
+	if e.cmd.Done != nil {
+		e.cmd.Done(Completion{
+			SubmitNs:      e.submit,
+			DoneNs:        now,
+			LatencyNs:     lat,
+			RejectedPages: rejectedPages,
+		})
+	}
+	h.pump()
+}
+
+// armWake schedules a dispatch pass for when the queue's token bucket
+// refills enough to fetch its head command.
+func (h *Host) armWake(qid int, now sim.Time) {
+	q := h.queues[qid]
+	if q.wakeArmed {
+		return
+	}
+	wait := sim.Time(math.Ceil((1 - q.tokens) / q.cfg.RateIOPS * 1e9))
+	if wait < 1 {
+		wait = 1
+	}
+	q.wakeArmed = true
+	h.stats[qid].Throttles++
+	h.eng.After(wait, func() {
+		q.wakeArmed = false
+		h.pump()
+	})
+}

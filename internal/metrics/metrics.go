@@ -50,6 +50,29 @@ func (s *Summary) Min() float64 { return s.min }
 // Max returns the largest observation, or 0 if empty.
 func (s *Summary) Max() float64 { return s.max }
 
+// Merge folds o's observations into s, as if every sample o saw had
+// been Added to s (Chan et al. parallel combine of Welford state).
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	na, nb := float64(s.n), float64(o.n)
+	d := o.mean - s.mean
+	s.mean += d * nb / (na + nb)
+	s.m2 += o.m2 + d*d*na*nb/(na+nb)
+	s.n += o.n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
 // Variance returns the sample variance, or 0 with fewer than 2 samples.
 func (s *Summary) Variance() float64 {
 	if s.n < 2 {
@@ -146,6 +169,40 @@ func leadingZeros(v uint64) int {
 		v <<= 1
 	}
 	return n
+}
+
+// Merge folds o's samples into h without modifying o, as if every
+// sample recorded in o had been Added to h. Used to build cross-tenant
+// aggregate distributions from per-tenant histograms. If either side
+// has spilled to log buckets the merged histogram is bucketed too (and
+// percentiles carry bucket resolution); two exact histograms stay exact
+// unless the combined count crosses h's capacity.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.sum.N() == 0 {
+		return
+	}
+	switch {
+	case !h.bucketed && !o.bucketed:
+		h.samples = append(h.samples, o.samples...)
+		h.sorted = false
+		if len(h.samples) >= h.capacity {
+			h.spill()
+		}
+	case !h.bucketed && o.bucketed:
+		h.spill()
+		for i, c := range o.buckets {
+			h.buckets[i] += c
+		}
+	case h.bucketed && !o.bucketed:
+		for _, v := range o.samples {
+			h.buckets[bucketOf(v)]++
+		}
+	default:
+		for i, c := range o.buckets {
+			h.buckets[i] += c
+		}
+	}
+	h.sum.Merge(o.sum)
 }
 
 // N returns the number of samples.

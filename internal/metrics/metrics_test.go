@@ -33,6 +33,158 @@ func TestSummaryBasics(t *testing.T) {
 	}
 }
 
+func TestSummaryMerge(t *testing.T) {
+	// Merging two summaries must equal one summary over both sample sets.
+	var a, b, both Summary
+	src := rng.New(7)
+	for i := 0; i < 1000; i++ {
+		v := src.Exponential(50)
+		a.Add(v)
+		both.Add(v)
+	}
+	for i := 0; i < 333; i++ {
+		v := src.Float64() * 10
+		b.Add(v)
+		both.Add(v)
+	}
+	a.Merge(b)
+	if a.N() != both.N() {
+		t.Fatalf("N = %d, want %d", a.N(), both.N())
+	}
+	if math.Abs(a.Mean()-both.Mean()) > 1e-9*math.Abs(both.Mean()) {
+		t.Errorf("Mean = %v, want %v", a.Mean(), both.Mean())
+	}
+	if math.Abs(a.Variance()-both.Variance()) > 1e-6*both.Variance() {
+		t.Errorf("Variance = %v, want %v", a.Variance(), both.Variance())
+	}
+	if a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Errorf("Min/Max = %v/%v, want %v/%v", a.Min(), a.Max(), both.Min(), both.Max())
+	}
+
+	// Merging into an empty summary copies; merging an empty is a no-op.
+	var empty Summary
+	empty.Merge(a)
+	if empty.N() != a.N() || empty.Mean() != a.Mean() {
+		t.Error("merge into empty summary lost state")
+	}
+	before := a
+	a.Merge(Summary{})
+	if a != before {
+		t.Error("merging an empty summary changed state")
+	}
+}
+
+func TestHistMergeEmpty(t *testing.T) {
+	h := NewHist(0)
+	h.Merge(nil)
+	h.Merge(NewHist(0))
+	if h.N() != 0 {
+		t.Fatalf("N = %d after empty merges", h.N())
+	}
+	h.Add(5)
+	empty := NewHist(0)
+	empty.Merge(h)
+	if empty.N() != 1 || empty.Percentile(50) != 5 {
+		t.Errorf("merge into empty hist: n=%d p50=%d", empty.N(), empty.Percentile(50))
+	}
+}
+
+func TestHistMergeDisjointExact(t *testing.T) {
+	a, b := NewHist(0), NewHist(0)
+	for i := int64(1); i <= 50; i++ {
+		a.Add(i)
+	}
+	for i := int64(51); i <= 100; i++ {
+		b.Add(i)
+	}
+	a.Merge(b)
+	if a.N() != 100 {
+		t.Fatalf("N = %d", a.N())
+	}
+	for _, c := range []struct {
+		p    float64
+		want int64
+	}{{50, 50}, {90, 90}, {99, 99}} {
+		if got := a.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %d, want %d", c.p, got, c.want)
+		}
+	}
+	// b must be untouched.
+	if b.N() != 50 || b.Percentile(100) != 100 || b.Min() != 51 {
+		t.Error("merge modified its argument")
+	}
+}
+
+func TestHistMergeOverlapping(t *testing.T) {
+	// Overlapping value ranges, merged in both orders, against a single
+	// histogram holding the union.
+	mk := func() (*Hist, *Hist, *Hist) {
+		a, b, both := NewHist(0), NewHist(0), NewHist(0)
+		src := rng.New(99)
+		for i := 0; i < 2000; i++ {
+			v := int64(src.Intn(1000))
+			a.Add(v)
+			both.Add(v)
+		}
+		for i := 0; i < 3000; i++ {
+			v := int64(src.Intn(1500))
+			b.Add(v)
+			both.Add(v)
+		}
+		return a, b, both
+	}
+	a, b, both := mk()
+	a.Merge(b)
+	for _, p := range StandardPercentiles {
+		if a.Percentile(p) != both.Percentile(p) {
+			t.Errorf("P%v = %d, want %d", p, a.Percentile(p), both.Percentile(p))
+		}
+	}
+	if math.Abs(a.Mean()-both.Mean()) > 1e-9*both.Mean() {
+		t.Errorf("merged mean %v differs from union %v", a.Mean(), both.Mean())
+	}
+	if a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Error("merged min/max differ from union")
+	}
+}
+
+func TestHistMergeBucketedCombinations(t *testing.T) {
+	// exact+bucketed, bucketed+exact, bucketed+bucketed: counts must add
+	// up and percentiles stay within one log-bucket of the exact union.
+	fill := func(h *Hist, seed uint64, n int) {
+		src := rng.New(seed)
+		for i := 0; i < n; i++ {
+			h.Add(int64(src.Exponential(80000)))
+		}
+	}
+	for _, tc := range []struct {
+		name       string
+		capA, capB int
+	}{
+		{"exact+bucketed", 1 << 21, 64},
+		{"bucketed+exact", 64, 1 << 21},
+		{"bucketed+bucketed", 64, 64},
+		{"exact-overflowing", 3000, 1 << 21},
+	} {
+		a, b := NewHist(tc.capA), NewHist(tc.capB)
+		exact := NewHist(1 << 21)
+		fill(a, 1, 2000)
+		fill(b, 2, 2000)
+		fill(exact, 1, 2000)
+		fill(exact, 2, 2000)
+		a.Merge(b)
+		if a.N() != 4000 {
+			t.Fatalf("%s: N = %d", tc.name, a.N())
+		}
+		for _, p := range []float64{50, 90, 99} {
+			e, g := float64(exact.Percentile(p)), float64(a.Percentile(p))
+			if rel := math.Abs(e-g) / e; rel > 0.04 {
+				t.Errorf("%s: P%v = %v, exact %v (rel err %.3f)", tc.name, p, g, e, rel)
+			}
+		}
+	}
+}
+
 func TestHistExactPercentiles(t *testing.T) {
 	h := NewHist(0)
 	for i := int64(1); i <= 100; i++ {

@@ -1,7 +1,10 @@
 package workload
 
 import (
+	"errors"
+
 	"cubeftl/internal/ftl"
+	"cubeftl/internal/host"
 	"cubeftl/internal/metrics"
 	"cubeftl/internal/sim"
 )
@@ -35,119 +38,276 @@ type Result struct {
 // IOPS is the run's completed requests per simulated second.
 func (r Result) IOPS() float64 { return metrics.IOPS(r.Requests, r.ElapsedNs) }
 
-// Run drives gen against ctrl with a closed-loop queue until cfg.Requests
-// complete, then drains the controller. It returns per-request latency
-// histograms and the throughput window.
+// TenantSpec is one tenant stream of a multi-queue run: a generator
+// driven closed-loop through its own host queue pair. The closed-loop
+// window is the queue depth — the driver submits until the queue
+// pushes back with ErrQueueFull and resumes on completions.
+type TenantSpec struct {
+	Gen      Generator
+	Requests int
+	Queue    host.QueueConfig
+}
+
+// MultiRunConfig shapes a multi-tenant run through the host layer.
+type MultiRunConfig struct {
+	// Arbiter is the queue arbitration policy (nil = round-robin).
+	Arbiter host.Arbiter
+	// DispatchWidth bounds commands concurrently outstanding at the
+	// device across all tenants — the contended resource QoS divides.
+	// 0 defaults to the sum of queue depths.
+	DispatchWidth int
+	// TraceCap retains the last grants for debugging (0 = hash only).
+	TraceCap int
+}
+
+// TenantResult is one tenant's view of a multi-queue run.
+type TenantResult struct {
+	Name      string
+	Queue     int
+	Requests  int64
+	ElapsedNs sim.Time
+	ReadLat   *metrics.Hist // host-visible (SQ wait + device) latency
+	WriteLat  *metrics.Hist
+	// Rejects counts pages refused by a degraded device.
+	Rejects int64
+	// QueueFulls counts submissions bounced by admission control.
+	QueueFulls int64
+	// Grants counts arbitration wins; Throttles counts rate-limiter
+	// stalls; MaxHeadWaitNs is the longest head-of-queue wait.
+	Grants        int64
+	Throttles     int64
+	MaxHeadWaitNs int64
+}
+
+// IOPS is the tenant's completed requests per simulated second.
+func (t TenantResult) IOPS() float64 { return metrics.IOPS(t.Requests, t.ElapsedNs) }
+
+// MultiResult summarizes a multi-tenant run.
+type MultiResult struct {
+	Tenants   []TenantResult
+	ElapsedNs sim.Time
+	// TraceHash fingerprints the arbitration grant sequence: equal
+	// hashes mean bit-identical scheduling decisions.
+	TraceHash uint64
+	Grants    int64
+}
+
+// Aggregate returns cross-tenant read and write latency histograms
+// (merged per-tenant distributions).
+func (m MultiResult) Aggregate() (read, write *metrics.Hist) {
+	read, write = metrics.NewHist(0), metrics.NewHist(0)
+	for _, t := range m.Tenants {
+		read.Merge(t.ReadLat)
+		write.Merge(t.WriteLat)
+	}
+	return read, write
+}
+
+// tenantDriver runs one generator closed-loop against its host queue.
+type tenantDriver struct {
+	h         *host.Host
+	qid       int
+	gen       Generator
+	requests  int
+	eng       *sim.Engine
+	issued    int
+	completed int
+	pending   *Request // generated but not yet admitted (queue full / gate)
+	gateUntil sim.Time // stream-wide pause (burst boundaries)
+	gateArmed bool
+}
+
+func (d *tenantDriver) done() bool { return d.completed >= d.requests }
+
+func (d *tenantDriver) pump() {
+	if d.eng.Now() < d.gateUntil {
+		// The stream is paused between bursts; resume issuing when the
+		// gate opens.
+		if !d.gateArmed {
+			d.gateArmed = true
+			d.eng.Schedule(d.gateUntil, func() {
+				d.gateArmed = false
+				d.pump()
+			})
+		}
+		return
+	}
+	for d.issued < d.requests {
+		var r Request
+		if d.pending != nil {
+			r = *d.pending
+		} else {
+			r = d.gen.Next()
+		}
+		op := host.Read
+		if r.Op == Write {
+			op = host.Write
+		}
+		err := d.h.Submit(d.qid, host.Command{
+			Op:    op,
+			LPN:   r.LPN,
+			Pages: r.Pages,
+			Done: func(host.Completion) {
+				d.completed++
+				d.pump()
+			},
+		})
+		if err != nil {
+			// Queue full: hold the request and retry on a completion.
+			// (Generator state advanced, so the request must not be
+			// regenerated.)
+			pr := r
+			d.pending = &pr
+			return
+		}
+		d.pending = nil
+		d.issued++
+		if r.ThinkNs > 0 {
+			// A burst ended: gate the whole stream.
+			d.gateUntil = d.eng.Now() + r.ThinkNs
+			d.pump()
+			return
+		}
+	}
+}
+
+// RunTenants drives every tenant's generator closed-loop through a
+// multi-queue host front end until each tenant completes its request
+// budget, then drains the controller. Per-tenant latency is
+// host-visible: submission-queue wait plus device service, so
+// arbitration and rate-limit effects show up in the histograms.
+func RunTenants(ctrl *ftl.Controller, specs []TenantSpec, cfg MultiRunConfig) (MultiResult, error) {
+	qcs := make([]host.QueueConfig, len(specs))
+	for i, s := range specs {
+		qc := s.Queue
+		if qc.Tenant == "" {
+			qc.Tenant = s.Gen.Name()
+		}
+		qcs[i] = qc
+	}
+	h, err := host.New(ctrl, host.Config{
+		Queues:        qcs,
+		Arb:           cfg.Arbiter,
+		DispatchWidth: cfg.DispatchWidth,
+		TraceCap:      cfg.TraceCap,
+	})
+	if err != nil {
+		return MultiResult{}, err
+	}
+	eng := ctrl.Engine()
+	start := eng.Now()
+
+	drivers := make([]*tenantDriver, len(specs))
+	for i, s := range specs {
+		n := s.Requests
+		if n <= 0 {
+			n = DefaultRunConfig().Requests
+		}
+		drivers[i] = &tenantDriver{h: h, qid: i, gen: s.Gen, requests: n, eng: eng}
+	}
+	for _, d := range drivers {
+		d.pump()
+	}
+	eng.RunWhile(func() bool {
+		for _, d := range drivers {
+			if !d.done() {
+				return true
+			}
+		}
+		return false
+	})
+	// Quiesce buffered state so back-to-back runs start clean.
+	eng.RunWhile(func() bool { return !ctrl.Drained() })
+
+	out := MultiResult{TraceHash: h.TraceHash(), Grants: h.Grants()}
+	for i := range specs {
+		st := h.Stats(i)
+		tr := TenantResult{
+			Name:          st.Tenant,
+			Queue:         i,
+			Requests:      st.Completed,
+			ElapsedNs:     st.LastDoneNs - start,
+			ReadLat:       st.ReadLat,
+			WriteLat:      st.WriteLat,
+			Rejects:       st.RejectedPages,
+			QueueFulls:    st.QueueFulls,
+			Grants:        st.Grants,
+			Throttles:     st.Throttles,
+			MaxHeadWaitNs: st.MaxHeadWaitNs,
+		}
+		out.Tenants = append(out.Tenants, tr)
+		if tr.ElapsedNs > out.ElapsedNs {
+			out.ElapsedNs = tr.ElapsedNs
+		}
+	}
+	return out, nil
+}
+
+// Run drives gen against ctrl with a closed-loop queue until
+// cfg.Requests complete, then drains the controller. It is a thin
+// wrapper over a single-queue host front end with the queue depth as
+// both the admission bound and the device dispatch window, which
+// reproduces the classic single-stream closed loop.
 func Run(ctrl *ftl.Controller, gen Generator, cfg RunConfig) Result {
 	if cfg.Requests <= 0 || cfg.QueueDepth <= 0 {
 		cfg = DefaultRunConfig()
 	}
-	eng := ctrl.Engine()
-	res := Result{
-		Name:     gen.Name(),
-		ReadLat:  metrics.NewHist(0),
-		WriteLat: metrics.NewHist(0),
+	mr, err := RunTenants(ctrl, []TenantSpec{{
+		Gen:      gen,
+		Requests: cfg.Requests,
+		Queue:    host.QueueConfig{Tenant: gen.Name(), Depth: cfg.QueueDepth},
+	}}, MultiRunConfig{DispatchWidth: cfg.QueueDepth})
+	if err != nil {
+		// Unreachable: the wrapper always passes one well-formed queue.
+		panic(err)
 	}
-	start := eng.Now()
-	var lastDone sim.Time
-
-	issued, completed, outstanding := 0, 0, 0
-	var gateUntil sim.Time // stream-wide pause (burst boundaries)
-	gateArmed := false
-	var pump func()
-	complete := func(r Request, submit sim.Time) {
-		lat := eng.Now() - submit
-		if r.Op == Read {
-			res.ReadLat.Add(lat)
-		} else {
-			res.WriteLat.Add(lat)
-		}
-		lastDone = eng.Now()
-		completed++
-		outstanding--
-		pump()
+	t := mr.Tenants[0]
+	return Result{
+		Name:      t.Name,
+		Requests:  t.Requests,
+		ElapsedNs: t.ElapsedNs,
+		ReadLat:   t.ReadLat,
+		WriteLat:  t.WriteLat,
+		Rejects:   t.Rejects,
 	}
-	issue := func(r Request) {
-		submit := eng.Now()
-		remaining := r.Pages
-		for p := 0; p < r.Pages; p++ {
-			lpn := ftl.LPN(r.LPN + int64(p))
-			pageDone := func() {
-				remaining--
-				if remaining == 0 {
-					complete(r, submit)
-				}
-			}
-			if r.Op == Read {
-				ctrl.Read(lpn, pageDone)
-			} else if err := ctrl.Write(lpn, pageDone); err != nil {
-				res.Rejects++
-				pageDone()
-			}
-		}
-	}
-	pump = func() {
-		if eng.Now() < gateUntil {
-			// The stream is paused between bursts; resume issuing when
-			// the gate opens.
-			if !gateArmed {
-				gateArmed = true
-				eng.Schedule(gateUntil, func() {
-					gateArmed = false
-					pump()
-				})
-			}
-			return
-		}
-		for outstanding < cfg.QueueDepth && issued < cfg.Requests {
-			r := gen.Next()
-			issued++
-			outstanding++
-			issue(r)
-			if r.ThinkNs > 0 {
-				// A burst ended: gate the whole stream.
-				gateUntil = eng.Now() + r.ThinkNs
-				pump()
-				return
-			}
-		}
-	}
-	pump()
-	eng.RunWhile(func() bool { return completed < cfg.Requests })
-	res.Requests = int64(completed)
-	res.ElapsedNs = lastDone - start
-	// Quiesce buffered state so back-to-back runs start clean.
-	eng.RunWhile(func() bool { return !ctrl.Drained() })
-	return res
 }
 
 // Prefill sequentially writes pages [0, n) through the controller so a
 // measurement run starts from a mapped, steady-state device, then
-// drains.
-func Prefill(ctrl *ftl.Controller, n int64) {
+// drains. It stops at the first synchronous rejection (a device that
+// degraded to read-only mid-prefill cannot accept more) and returns
+// the number of pages actually written.
+func Prefill(ctrl *ftl.Controller, n int64) int64 {
 	eng := ctrl.Engine()
 	const qd = 64
 	var issued, completed int64
 	outstanding := 0
+	stopped := false
 	var pump func()
 	pump = func() {
-		for outstanding < qd && issued < n {
+		for !stopped && outstanding < qd && issued < n {
 			lpn := ftl.LPN(issued)
-			issued++
-			outstanding++
 			err := ctrl.Write(lpn, func() {
 				completed++
 				outstanding--
 				pump()
 			})
 			if err != nil {
-				// A degraded device cannot be prefilled further.
-				completed++
-				outstanding--
+				// A degraded (or mis-sized) device cannot be prefilled
+				// further: stop issuing instead of spinning through the
+				// remaining pages as fake completions.
+				if !errors.Is(err, ftl.ErrDegraded) && !errors.Is(err, ftl.ErrBadLPN) {
+					panic(err) // unknown datapath error: surface it
+				}
+				stopped = true
+				return
 			}
+			issued++
+			outstanding++
 		}
 	}
 	pump()
-	eng.RunWhile(func() bool { return completed < n })
+	eng.RunWhile(func() bool { return completed < issued })
 	eng.RunWhile(func() bool { return !ctrl.Drained() })
+	return completed
 }

@@ -183,12 +183,25 @@ var (
 	}
 )
 
+// Bulk is a saturating sequential bulk writer (backup ingest, log
+// shipping, LSM compaction debt): large writes, no think time — the
+// canonical noisy neighbor for multi-tenant QoS studies.
+var Bulk = Profile{
+	Name:          "Bulk",
+	ReadFraction:  0,
+	SizesPages:    []int{4, 8},
+	SizeWeights:   []float64{0.5, 0.5},
+	FootprintFrac: 0.8,
+	SeqWriteFrac:  0.9,
+}
+
 // All lists the evaluation workloads in the paper's order (Fig 17).
 var All = []Profile{Mail, Web, Proxy, OLTP, Rocks, Mongo}
 
 // Extended lists every built-in workload, including the extra YCSB
-// profiles not used by the paper's figures.
-var Extended = append(append([]Profile{}, All...), YCSBB, YCSBC)
+// profiles and the Bulk noisy-neighbor stream not used by the paper's
+// figures.
+var Extended = append(append([]Profile{}, All...), YCSBB, YCSBC, Bulk)
 
 // ByName finds a profile (case-sensitive).
 func ByName(name string) (Profile, bool) {

@@ -162,11 +162,15 @@ func TestRunReadsAfterPrefillHitFlash(t *testing.T) {
 }
 
 func TestExtendedProfiles(t *testing.T) {
-	if len(Extended) != len(All)+2 {
+	if len(Extended) != len(All)+3 {
 		t.Fatalf("extended = %d", len(Extended))
 	}
 	if _, ok := ByName("YCSB-B"); !ok {
 		t.Error("YCSB-B missing")
+	}
+	b, ok := ByName("Bulk")
+	if !ok || b.ReadFraction != 0 {
+		t.Errorf("Bulk = %+v", b)
 	}
 	c, ok := ByName("YCSB-C")
 	if !ok || c.ReadFraction != 1.0 {
