@@ -2,9 +2,9 @@
 # long tests hide behind -short here; `make soak` runs them in full.
 GO ?= go
 
-.PHONY: tier1 build vet test race soak figures demo clean
+.PHONY: tier1 build vet test race race-core bench-scale soak figures demo clean
 
-tier1: build vet race
+tier1: build vet race race-core
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,17 @@ test:
 # Race-checked short run (skips the chaos soak and long experiments).
 race:
 	$(GO) test -race -short ./...
+
+# Full (non-short) race run over the concurrency-sensitive core: the
+# event engine, the FTL (per-die degraded transitions), and the
+# multi-queue host front end.
+race-core:
+	$(GO) test -race ./internal/sim ./internal/ftl ./internal/host
+
+# Multi-die scaling gate: fails if a 2x4 backend delivers less than
+# 1.5x the single-die Mixed IOPS (or if same-seed replay diverges).
+bench-scale:
+	$(GO) test -run TestBenchScale -v ./internal/experiment
 
 # Full suite including the fault-injection chaos soak.
 soak:

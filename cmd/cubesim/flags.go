@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cubeftl"
+)
+
+// validateTopology rejects non-positive -channels / -dies values with
+// an error naming the offending flag.
+func validateTopology(channels, dies int) error {
+	if channels <= 0 {
+		return fmt.Errorf("cubesim: -channels must be positive, got %d", channels)
+	}
+	if dies <= 0 {
+		return fmt.Errorf("cubesim: -dies must be positive, got %d", dies)
+	}
+	return nil
+}
+
+// parseTenants parses the -queues spec: comma-separated tenant streams,
+// each "workload" or "name=workload".
+func parseTenants(spec string, requests, qd int) ([]cubeftl.TenantConfig, error) {
+	var tenants []cubeftl.TenantConfig
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wl := "", part
+		if eq := strings.IndexByte(part, '='); eq >= 0 {
+			name, wl = part[:eq], part[eq+1:]
+		}
+		tenants = append(tenants, cubeftl.TenantConfig{
+			Name: name, Workload: wl, Requests: requests, QueueDepth: qd,
+		})
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("cubesim: -queues named no tenants")
+	}
+	return tenants, nil
+}
+
+// splitList parses a comma-separated numeric flag into per-tenant
+// values: empty spec means all-default (zero), otherwise exactly one
+// value per tenant (an empty entry, as in "8,,1", keeps the default).
+// Errors name the offending flag and the expected count.
+func splitList(flagName, spec string, n int) ([]float64, error) {
+	out := make([]float64, n)
+	if spec == "" {
+		return out, nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("cubesim: %s: got %d values, want %d (one per -queues tenant)",
+			flagName, len(parts), n)
+	}
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cubesim: %s: bad value %q: %v", flagName, p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateTopology(t *testing.T) {
+	if err := validateTopology(2, 4); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		channels, dies int
+		wantFlag       string
+	}{
+		{0, 4, "-channels"},
+		{-1, 4, "-channels"},
+		{2, 0, "-dies"},
+		{2, -3, "-dies"},
+	} {
+		err := validateTopology(tc.channels, tc.dies)
+		if err == nil {
+			t.Fatalf("topology %dx%d accepted", tc.channels, tc.dies)
+		}
+		if !strings.Contains(err.Error(), tc.wantFlag) {
+			t.Errorf("topology %dx%d error %q does not name %s",
+				tc.channels, tc.dies, err, tc.wantFlag)
+		}
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	tenants, err := parseTenants("db=OLTP, web=Web ,Rocks", 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 3 {
+		t.Fatalf("tenants = %d", len(tenants))
+	}
+	if tenants[0].Name != "db" || tenants[0].Workload != "OLTP" {
+		t.Errorf("tenant 0 = %+v", tenants[0])
+	}
+	if tenants[1].Workload != "Web" {
+		t.Errorf("tenant 1 = %+v", tenants[1])
+	}
+	if tenants[2].Name != "" || tenants[2].Workload != "Rocks" {
+		t.Errorf("tenant 2 = %+v", tenants[2])
+	}
+	if tenants[0].Requests != 500 || tenants[0].QueueDepth != 8 {
+		t.Errorf("tenant 0 run shape = %+v", tenants[0])
+	}
+	if _, err := parseTenants(" , ", 500, 8); err == nil {
+		t.Error("empty -queues spec accepted")
+	}
+}
+
+func TestSplitListDefaultsAndValues(t *testing.T) {
+	vals, err := splitList("-weights", "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[0] != 0 || vals[2] != 0 {
+		t.Errorf("empty spec = %v", vals)
+	}
+	vals, err = splitList("-weights", "8,,1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 8 || vals[1] != 0 || vals[2] != 1 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestSplitListErrorsNameFlagAndCount(t *testing.T) {
+	for _, flagName := range []string{"-weights", "-prios", "-rate"} {
+		_, err := splitList(flagName, "1,2,3", 2)
+		if err == nil {
+			t.Fatalf("%s: length mismatch accepted", flagName)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, flagName) {
+			t.Errorf("%s mismatch error %q does not name the flag", flagName, msg)
+		}
+		if !strings.Contains(msg, "got 3") || !strings.Contains(msg, "want 2") {
+			t.Errorf("%s mismatch error %q does not state got/want counts", flagName, msg)
+		}
+	}
+	_, err := splitList("-rate", "1,abc", 2)
+	if err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+	if !strings.Contains(err.Error(), "-rate") || !strings.Contains(err.Error(), "abc") {
+		t.Errorf("bad-value error %q lacks flag name or offending token", err)
+	}
+}

@@ -18,7 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"cubeftl"
@@ -29,6 +28,9 @@ func main() {
 	wl := flag.String("workload", "OLTP", "workload: "+strings.Join(cubeftl.Workloads(), ", "))
 	requests := flag.Int("requests", 20000, "host requests to complete")
 	qd := flag.Int("qd", 24, "host queue depth")
+	channels := flag.Int("channels", 2, "independent NAND channels (data buses)")
+	dies := flag.Int("dies", 4, "NAND dies behind each channel")
+	dieaware := flag.Bool("dieaware", false, "die-aware dispatch: prefer queue heads targeting idle dies (multi-tenant mode)")
 	blocks := flag.Int("blocks", 32, "blocks per chip (428 = paper's full chip)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	pe := flag.Int("pe", 0, "pre-aged P/E cycles (paper: 0 or 2000)")
@@ -48,8 +50,15 @@ func main() {
 	width := flag.Int("width", 32, "device dispatch width shared by all tenant queues (multi-tenant mode)")
 	flag.Parse()
 
+	if err := validateTopology(*channels, *dies); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	opts := cubeftl.Options{
 		FTL:             *ftlName,
+		Channels:        *channels,
+		DiesPerChannel:  *dies,
+		DieAffinity:     *dieaware,
 		BlocksPerChip:   *blocks,
 		Seed:            *seed,
 		PECycles:        *pe,
@@ -78,8 +87,8 @@ func main() {
 		fmt.Printf("recorded %d %s requests to %s\n", *requests, *wl, *record)
 		return
 	}
-	fmt.Printf("device: %s, %.1f GiB logical, seed %d, aging {P/E %d, %v months}\n",
-		dev.FTLName(), float64(dev.CapacityBytes())/(1<<30), *seed, *pe, *retention)
+	fmt.Printf("device: %s, %.1f GiB logical, %dch x %ddie, seed %d, aging {P/E %d, %v months}\n",
+		dev.FTLName(), float64(dev.CapacityBytes())/(1<<30), *channels, *dies, *seed, *pe, *retention)
 
 	if *prefill {
 		n := int64(dev.LogicalPages()) * 6 / 10
@@ -140,63 +149,24 @@ func main() {
 	}
 }
 
-// splitList parses a comma-separated numeric flag into per-tenant
-// values: empty spec means all-default (zero), otherwise exactly one
-// value per tenant (an empty entry, as in "8,,1", keeps the default).
-func splitList(spec string, n int) ([]float64, error) {
-	out := make([]float64, n)
-	if spec == "" {
-		return out, nil
-	}
-	parts := strings.Split(spec, ",")
-	if len(parts) != n {
-		return nil, fmt.Errorf("%d values for %d tenants", len(parts), n)
-	}
-	for i, p := range parts {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(p, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad value %q: %v", p, err)
-		}
-		out[i] = v
-	}
-	return out, nil
-}
-
 // runMultiTenant drives the comma-separated tenant streams through the
 // multi-queue host interface and prints per-tenant QoS accounting.
 func runMultiTenant(dev *cubeftl.SSD, queues, arb, weights, rate, prios string, width, requests, qd int) error {
-	var tenants []cubeftl.TenantConfig
-	for _, part := range strings.Split(queues, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		name, wl := "", part
-		if eq := strings.IndexByte(part, '='); eq >= 0 {
-			name, wl = part[:eq], part[eq+1:]
-		}
-		tenants = append(tenants, cubeftl.TenantConfig{
-			Name: name, Workload: wl, Requests: requests, QueueDepth: qd,
-		})
-	}
-	if len(tenants) == 0 {
-		return fmt.Errorf("cubesim: -queues named no tenants")
-	}
-	ws, err := splitList(weights, len(tenants))
+	tenants, err := parseTenants(queues, requests, qd)
 	if err != nil {
-		return fmt.Errorf("cubesim: -weights: %v", err)
+		return err
 	}
-	rs, err := splitList(rate, len(tenants))
+	ws, err := splitList("-weights", weights, len(tenants))
 	if err != nil {
-		return fmt.Errorf("cubesim: -rate: %v", err)
+		return err
 	}
-	ps, err := splitList(prios, len(tenants))
+	rs, err := splitList("-rate", rate, len(tenants))
 	if err != nil {
-		return fmt.Errorf("cubesim: -prios: %v", err)
+		return err
+	}
+	ps, err := splitList("-prios", prios, len(tenants))
+	if err != nil {
+		return err
 	}
 	for i := range tenants {
 		tenants[i].Weight = int(ws[i])

@@ -49,11 +49,22 @@ const (
 type Options struct {
 	FTL string // one of FTLPage, FTLVert, FTLCube, FTLCubeMinus
 
-	Buses         int // default 2
-	ChipsPerBus   int // default 4
-	BlocksPerChip int // default 64 (paper's chips have 428)
-	PlanesPerChip int // default 1 (the paper's model); 2+ overlaps ops within a die
-	Seed          uint64
+	Channels       int // independent data buses; default 2
+	DiesPerChannel int // NAND dies behind each channel; default 4
+	BlocksPerChip  int // default 64 (paper's chips have 428)
+	PlanesPerChip  int // default 1 (the paper's model); 2+ overlaps ops within a die
+	Seed           uint64
+
+	// Buses/ChipsPerBus are the pre-topology names for
+	// Channels/DiesPerChannel; they apply only when the new fields are
+	// zero. Deprecated: set Channels and DiesPerChannel.
+	Buses       int
+	ChipsPerBus int
+
+	// DieAffinity makes the multi-queue host front end prefer fetching
+	// commands whose target die is idle (reads to busy dies wait while
+	// reads to idle dies dispatch), increasing array-level overlap.
+	DieAffinity bool
 
 	WriteBufferPages int // default 192
 
@@ -87,11 +98,11 @@ type Options struct {
 // 4 chips x 428 blocks ~= 31.5 GB) running cubeFTL.
 func DefaultOptions() Options {
 	return Options{
-		FTL:           FTLCube,
-		Buses:         2,
-		ChipsPerBus:   4,
-		BlocksPerChip: 428,
-		Seed:          1,
+		FTL:            FTLCube,
+		Channels:       2,
+		DiesPerChannel: 4,
+		BlocksPerChip:  428,
+		Seed:           1,
 	}
 }
 
@@ -99,19 +110,26 @@ func DefaultOptions() Options {
 // FTLs. It is not safe for concurrent use: the simulation is a single
 // deterministic event loop.
 type SSD struct {
-	eng  *sim.Engine
-	dev  *ssd.Device
-	ctrl *ftl.Controller
-	cube *core.CubeFTL // non-nil for cube flavors
+	eng         *sim.Engine
+	dev         *ssd.Device
+	ctrl        *ftl.Controller
+	cube        *core.CubeFTL // non-nil for cube flavors
+	dieAffinity bool
 }
 
 // New builds a simulated SSD.
 func New(opts Options) (*SSD, error) {
-	if opts.Buses <= 0 {
-		opts.Buses = 2
+	if opts.Channels <= 0 {
+		opts.Channels = opts.Buses // deprecated alias
 	}
-	if opts.ChipsPerBus <= 0 {
-		opts.ChipsPerBus = 4
+	if opts.Channels <= 0 {
+		opts.Channels = 2
+	}
+	if opts.DiesPerChannel <= 0 {
+		opts.DiesPerChannel = opts.ChipsPerBus // deprecated alias
+	}
+	if opts.DiesPerChannel <= 0 {
+		opts.DiesPerChannel = 4
 	}
 	if opts.BlocksPerChip <= 0 {
 		opts.BlocksPerChip = 64
@@ -121,8 +139,8 @@ func New(opts Options) (*SSD, error) {
 	}
 	eng := sim.NewEngine()
 	devCfg := ssd.DefaultConfig()
-	devCfg.Buses = opts.Buses
-	devCfg.ChipsPerBus = opts.ChipsPerBus
+	devCfg.Channels = opts.Channels
+	devCfg.DiesPerChannel = opts.DiesPerChannel
 	devCfg.Chip.Process.BlocksPerChip = opts.BlocksPerChip
 	devCfg.Seed = opts.Seed
 	devCfg.SuspendOps = opts.SuspendOps
@@ -169,8 +187,20 @@ func New(opts Options) (*SSD, error) {
 	}
 	ctrlCfg.WearAware = opts.WearAware
 	ctrlCfg.VerifyData = opts.VerifyData
-	return &SSD{eng: eng, dev: dev, ctrl: ftl.NewController(dev, pol, ctrlCfg), cube: cube}, nil
+	return &SSD{
+		eng:         eng,
+		dev:         dev,
+		ctrl:        ftl.NewController(dev, pol, ctrlCfg),
+		cube:        cube,
+		dieAffinity: opts.DieAffinity,
+	}, nil
 }
+
+// Channels returns the device's channel (bus) count.
+func (s *SSD) Channels() int { return s.dev.Channels() }
+
+// DiesPerChannel returns the NAND dies behind each channel.
+func (s *SSD) DiesPerChannel() int { return s.dev.Config().DiesPerChannel }
 
 // FTLName returns the active FTL's name.
 func (s *SSD) FTLName() string { return s.ctrl.Policy().Name() }
@@ -207,8 +237,17 @@ func (s *SSD) Write(lpn int64, done func()) error {
 	return s.ctrl.Write(ftl.LPN(lpn), done)
 }
 
-// Degraded reports whether the device has dropped to read-only mode.
+// Degraded reports whether the whole device has dropped to read-only
+// mode (every die degraded).
 func (s *SSD) Degraded() bool { return s.ctrl.Degraded() }
+
+// DieDegraded reports whether one die (0 <= die <
+// Channels()*DiesPerChannel()) has dropped to read-only. A single dead
+// die does not stop the device: writes keep flowing to the survivors.
+func (s *SSD) DieDegraded(die int) bool { return s.ctrl.DieDegraded(die) }
+
+// DegradedDieCount returns how many dies have degraded to read-only.
+func (s *SSD) DegradedDieCount() int { return s.ctrl.DegradedDieCount() }
 
 // Read enqueues a host page read; done (optional) runs in simulated
 // time when data is returned.
@@ -241,7 +280,8 @@ func (s *SSD) Prefill(n int64) int64 {
 func (s *SSD) ResetStats() { s.ctrl.ResetStats() }
 
 // Workloads lists every named workload Run/RunTenants accept: the six
-// evaluation streams plus the extended profiles (YCSB-B, YCSB-C, Bulk).
+// evaluation streams plus the extended profiles (YCSB-B, YCSB-C, Bulk,
+// Mixed).
 func Workloads() []string {
 	names := make([]string, 0, len(workload.Extended))
 	for _, p := range workload.Extended {
@@ -276,6 +316,12 @@ type RunStats struct {
 	RetiredBlocks   int64
 	FaultRecoveries int64
 	WriteRejects    int64
+	DegradedDies    int64
+	FencedPrograms  int64
+
+	// TraceHash fingerprints the host dispatch grant sequence: equal
+	// hashes across two runs mean bit-identical replay.
+	TraceHash uint64
 }
 
 // RunWorkload drives one of the named workloads (see Workloads) against
@@ -311,6 +357,9 @@ func (s *SSD) RunWorkload(name string, requests, queueDepth int) (RunStats, erro
 		RetiredBlocks:   st.RetiredBlocks,
 		FaultRecoveries: st.FaultRecoveries,
 		WriteRejects:    st.WriteRejects,
+		DegradedDies:    st.DegradedDies,
+		FencedPrograms:  st.FencedPrograms,
+		TraceHash:       res.TraceHash,
 	}, nil
 }
 
@@ -427,6 +476,7 @@ func (s *SSD) RunTenants(tenants []TenantConfig, arb string, dispatchWidth int) 
 	mr, err := workload.RunTenants(s.ctrl, specs, workload.MultiRunConfig{
 		Arbiter:       arbiter,
 		DispatchWidth: dispatchWidth,
+		DieAffinity:   s.dieAffinity,
 	})
 	if err != nil {
 		return MultiTenantStats{}, err

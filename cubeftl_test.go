@@ -119,11 +119,12 @@ func TestCubeStatsZeroForBaselines(t *testing.T) {
 
 func TestWorkloadsList(t *testing.T) {
 	ws := Workloads()
-	if len(ws) != 9 {
+	if len(ws) != 10 {
 		t.Fatalf("workloads = %v", ws)
 	}
 	want := map[string]bool{"Mail": true, "Web": true, "Proxy": true, "OLTP": true,
-		"Rocks": true, "Mongo": true, "YCSB-B": true, "YCSB-C": true, "Bulk": true}
+		"Rocks": true, "Mongo": true, "YCSB-B": true, "YCSB-C": true, "Bulk": true,
+		"Mixed": true}
 	for _, w := range ws {
 		if !want[w] {
 			t.Errorf("unexpected workload %q", w)
@@ -240,8 +241,8 @@ func TestFaultInjectionOptions(t *testing.T) {
 func TestDegradedDeviceRejectsFacadeWrites(t *testing.T) {
 	opts := smallOptions(FTLPage)
 	opts.BlocksPerChip = 8
-	opts.Buses = 1
-	opts.ChipsPerBus = 2
+	opts.Channels = 1
+	opts.DiesPerChannel = 2
 	opts.VerifyData = true
 	opts.EraseFailRate = 1
 	dev, err := New(opts)

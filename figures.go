@@ -62,6 +62,9 @@ var figures = map[string]func(seed uint64) *experiment.Table{
 	"ext-qos": func(seed uint64) *experiment.Table {
 		return experiment.ExtQoS(evalOpts(seed, 0, 0)).Table()
 	},
+	"ext-parallel": func(seed uint64) *experiment.Table {
+		return experiment.ExtParallelScaling(evalOpts(seed, 0, 0)).Table()
+	},
 	"abl-mu": func(seed uint64) *experiment.Table {
 		return experiment.AblationMuThreshold(evalOpts(seed, 0, 0)).Table()
 	},

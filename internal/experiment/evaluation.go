@@ -62,6 +62,11 @@ type SSDOpts struct {
 	// PlanesPerChip splits each die into independent planes (0/1 = the
 	// paper's single-plane model).
 	PlanesPerChip int
+
+	// Channels × DiesPerChannel sets the backend topology (0 keeps the
+	// device default). Used by the ext-parallel scaling study.
+	Channels       int
+	DiesPerChannel int
 }
 
 // DefaultSSDOpts returns the evaluation defaults (fresh state).
@@ -123,6 +128,12 @@ func RunCustom(factory func(*ssd.Device) ftl.Policy, prof workload.Profile, opts
 	devCfg.Seed = opts.Seed
 	devCfg.SuspendOps = opts.SuspendOps
 	devCfg.PlanesPerChip = opts.PlanesPerChip
+	if opts.Channels > 0 {
+		devCfg.Channels = opts.Channels
+	}
+	if opts.DiesPerChannel > 0 {
+		devCfg.DiesPerChannel = opts.DiesPerChannel
+	}
 	dev := ssd.New(eng, devCfg)
 	if opts.PE > 0 || opts.RetentionMonths > 0 {
 		dev.PreAge(opts.PE, opts.RetentionMonths)

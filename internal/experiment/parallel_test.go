@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"testing"
+
+	"cubeftl/internal/workload"
+)
+
+// TestBenchScale is the multi-die scaling gate: a 2x4 backend must
+// deliver at least 1.5x the Mixed-workload IOPS of a single die, and
+// both topologies must replay bit-identically at the same seed.
+// `make bench-scale` runs exactly this test.
+func TestBenchScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-topology run")
+	}
+	o := DefaultSSDOpts()
+	o.Requests = 4000
+	run := func(channels, dies int) RunOutcome {
+		o := o
+		o.Channels, o.DiesPerChannel = channels, dies
+		return RunWorkload(PolicyCube, workload.Mixed, o)
+	}
+	single := run(1, 1)
+	array := run(2, 4)
+	if single.IOPS() <= 0 {
+		t.Fatalf("single-die IOPS = %.0f", single.IOPS())
+	}
+	speedup := array.IOPS() / single.IOPS()
+	t.Logf("Mixed IOPS: 1x1 %.0f, 2x4 %.0f (%.2fx)", single.IOPS(), array.IOPS(), speedup)
+	if speedup < 1.5 {
+		t.Errorf("2x4 speedup %.2fx < 1.5x over single die", speedup)
+	}
+
+	// Same-seed reruns must replay the exact dispatch sequence.
+	if re := run(1, 1); re.Result.TraceHash != single.Result.TraceHash {
+		t.Errorf("1x1 replay diverged: %016x vs %016x", re.Result.TraceHash, single.Result.TraceHash)
+	}
+	if re := run(2, 4); re.Result.TraceHash != array.Result.TraceHash {
+		t.Errorf("2x4 replay diverged: %016x vs %016x", re.Result.TraceHash, array.Result.TraceHash)
+	}
+}
+
+// TestExtParallelScalingShape checks the sweep's bookkeeping on a tiny
+// run: monotone die counts, replay verdicts filled, and a sane table.
+func TestExtParallelScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-topology run")
+	}
+	o := DefaultSSDOpts()
+	o.Requests = 800
+	r := ExtParallelScaling(o)
+	if len(r.IOPS) != len(ParallelTopologies) || len(r.ReplayOK) != len(ParallelTopologies) {
+		t.Fatalf("sweep shape: %d iops, %d replay", len(r.IOPS), len(r.ReplayOK))
+	}
+	for i, topo := range r.Topologies {
+		if r.IOPS[i] <= 0 {
+			t.Errorf("%v: IOPS = %.0f", topo, r.IOPS[i])
+		}
+		if !r.ReplayOK[i] {
+			t.Errorf("%v: same-seed replay diverged (trace %016x)", topo, r.TraceHash[i])
+		}
+	}
+	if r.Speedup[0] != 1 {
+		t.Errorf("baseline speedup = %v", r.Speedup[0])
+	}
+	tab := r.Table()
+	if len(tab.Rows) != len(ParallelTopologies) {
+		t.Errorf("table rows = %d", len(tab.Rows))
+	}
+}

@@ -103,6 +103,14 @@ type Stats struct {
 	FaultRecoveries int64
 	// WriteRejects counts host writes refused in degraded mode.
 	WriteRejects int64
+	// DegradedDies counts dies that individually dropped to read-only
+	// (their free pools exhausted); the device itself keeps serving
+	// writes on the surviving dies until every die has degraded.
+	DegradedDies int64
+	// FencedPrograms counts programs that were already queued on a
+	// die's resources when the die degraded and were refused at grant
+	// time (their data returns to the buffer for surviving dies).
+	FencedPrograms int64
 }
 
 // MeanTPROGNs returns the average NAND program latency of the run.
@@ -124,6 +132,8 @@ func (s *Stats) FaultCounters() *metrics.CounterSet {
 	cs.Add("FactoryBadBlocks", s.FactoryBadBlocks)
 	cs.Add("FaultRecoveries", s.FaultRecoveries)
 	cs.Add("WriteRejects", s.WriteRejects)
+	cs.Add("DegradedDies", s.DegradedDies)
+	cs.Add("FencedPrograms", s.FencedPrograms)
 	return cs
 }
 
@@ -155,7 +165,12 @@ type Controller struct {
 	// cycle runs per chip at a time).
 	retired       []map[int]bool
 	pendingRetire [][]int
-	degraded      bool // read-only: no chip can accept another program
+	// dieDegraded marks dies that can no longer accept programs (free
+	// pool exhausted, nothing left to collect). A degraded die is
+	// fenced at the device so queued grants cannot program it; the
+	// device keeps writing to surviving dies.
+	dieDegraded []bool
+	degraded    bool // device-wide read-only: every die has degraded
 
 	pendingWrites []pendingWrite // host writes waiting for buffer space
 	flushChip     int            // round-robin cursor
@@ -202,6 +217,7 @@ func NewController(dev *ssd.Device, pol Policy, cfg ControllerConfig) *Controlle
 	c.gcActive = make([]bool, nChips)
 	c.retired = make([]map[int]bool, nChips)
 	c.pendingRetire = make([][]int, nChips)
+	c.dieDegraded = make([]bool, nChips)
 	for chip := 0; chip < nChips; chip++ {
 		// Boot-time factory bad-block scan: factory-marked blocks never
 		// enter the free pool.
@@ -242,15 +258,16 @@ func (c *Controller) Device() *ssd.Device { return c.dev }
 
 // ResetStats discards accumulated measurements (e.g. after a prefill or
 // warmup phase) without touching translation or buffer state. Bad-block
-// accounting (retired/factory counts) survives the reset — those blocks
-// are still gone.
+// and degraded-die accounting survives the reset — those blocks and
+// dies are still gone.
 func (c *Controller) ResetStats() {
-	retired, factory := c.stats.RetiredBlocks, c.stats.FactoryBadBlocks
+	retired, factory, dies := c.stats.RetiredBlocks, c.stats.FactoryBadBlocks, c.stats.DegradedDies
 	c.stats = Stats{
 		ReadLat:          metrics.NewHist(0),
 		WriteLat:         metrics.NewHist(0),
 		RetiredBlocks:    retired,
 		FactoryBadBlocks: factory,
+		DegradedDies:     dies,
 	}
 }
 
@@ -266,8 +283,35 @@ func (c *Controller) BufferUtilization() float64 { return c.buf.Utilization() }
 // LogicalPages returns the exported capacity in pages.
 func (c *Controller) LogicalPages() int { return c.mapper.LogicalPages() }
 
-// Degraded reports whether the device has dropped to read-only mode.
+// Degraded reports whether the device has dropped to read-only mode
+// (every die degraded).
 func (c *Controller) Degraded() bool { return c.degraded }
+
+// DieDegraded reports whether one die has dropped to read-only mode.
+// The device keeps serving writes while any die survives.
+func (c *Controller) DieDegraded(die int) bool { return c.dieDegraded[die] }
+
+// DegradedDieCount returns how many dies have degraded to read-only.
+func (c *Controller) DegradedDieCount() int { return int(c.stats.DegradedDies) }
+
+// TargetDie returns the die a read of lpn would touch, or -1 when the
+// read is die-agnostic (buffered or unmapped) — used by die-aware host
+// dispatch to prefer commands whose die is idle.
+func (c *Controller) TargetDie(lpn LPN) int {
+	if lpn < 0 || int(lpn) >= c.mapper.LogicalPages() || c.buf.Contains(lpn) {
+		return -1
+	}
+	ppn := c.mapper.Lookup(lpn)
+	if ppn == ssd.UnmappedPPN {
+		return -1
+	}
+	die, _, _, _, _ := c.geo.DecodePPN(ppn)
+	return die
+}
+
+// DieBusy reports whether a die has work queued or running on any of
+// its planes.
+func (c *Controller) DieBusy(die int) bool { return c.dev.Die(die).Busy() }
 
 // IsRetired reports whether a block has been retired (factory mark or
 // grown bad).
@@ -449,16 +493,32 @@ func (c *Controller) maybeFlush() {
 	}
 }
 
-// pickChip round-robins over chips with an open program slot. Chips
-// whose free-block pool is critically low are skipped for host flushes
-// so in-progress garbage collection always has blocks to write into.
+// pickChip round-robins over dies with an open program slot, dispatching
+// to idle dies first so a flush burst spreads across the array before
+// any die queues a second operation. Degraded dies and dies whose
+// free-block pool is critically low are skipped for host flushes so
+// in-progress garbage collection always has blocks to write into.
 func (c *Controller) pickChip() (int, bool) {
 	n := c.geo.Chips
+	eligible := func(die int) bool {
+		return !c.dieDegraded[die] &&
+			c.inflight[die] < c.cfg.MaxInflightProgramsPerChip &&
+			len(c.freeBlocks[die]) > 1
+	}
+	// First pass: idle dies only (nothing queued or running on their
+	// planes). Second pass: any eligible die.
 	for i := 0; i < n; i++ {
-		chip := (c.flushChip + i) % n
-		if c.inflight[chip] < c.cfg.MaxInflightProgramsPerChip && len(c.freeBlocks[chip]) > 1 {
-			c.flushChip = (chip + 1) % n
-			return chip, true
+		die := (c.flushChip + i) % n
+		if eligible(die) && !c.dev.Die(die).Busy() {
+			c.flushChip = (die + 1) % n
+			return die, true
+		}
+	}
+	for i := 0; i < n; i++ {
+		die := (c.flushChip + i) % n
+		if eligible(die) {
+			c.flushChip = (die + 1) % n
+			return die, true
 		}
 	}
 	return 0, false
@@ -523,10 +583,10 @@ func (c *Controller) allocateWL(chip int) (cursor *BlockCursor, layer, wl int, e
 func (c *Controller) flushTo(chip int, group []FlushHandle) {
 	cursor, layer, wl, err := c.allocateWL(chip)
 	if err != nil {
-		// The chip cannot place the group: return the data to the
-		// buffer for another chip (or a later retry) and reassess.
+		// The die cannot place the group: return the data to the
+		// buffer for another die (or a later retry) and reassess.
 		c.buf.Requeue(group)
-		c.checkDegraded()
+		c.checkDieDegraded(chip)
 		return
 	}
 	cursor.Take(layer, wl)
@@ -536,6 +596,16 @@ func (c *Controller) flushTo(chip int, group []FlushHandle) {
 	c.inflight[chip]++
 	c.dev.Program(chip, addr, c.hostPages(group), params, func(res nand.ProgramResult, err error) {
 		c.inflight[chip]--
+		if errors.Is(err, ssd.ErrDieFenced) {
+			// The die degraded while this program waited for its grant:
+			// nothing reached the media. Return the data to the buffer so
+			// surviving dies can absorb it (or, device-wide, so the
+			// rejection is accounted instead of silently lost).
+			c.stats.FencedPrograms++
+			c.buf.Requeue(group)
+			c.maybeFlush()
+			return
+		}
 		if err != nil {
 			// Program-status failure: the data is still safe in the
 			// buffer. Re-issue it at the next allocation and retire the
@@ -585,7 +655,7 @@ func (c *Controller) retireIfFull(chip int, cursor *BlockCursor) {
 				c.actives[chip][i] = fresh
 			} else {
 				c.actives[chip] = append(c.actives[chip][:i], c.actives[chip][i+1:]...)
-				c.checkDegraded()
+				c.checkDieDegraded(chip)
 			}
 			return
 		}
@@ -625,7 +695,7 @@ func (c *Controller) retireBlock(chip, block int) {
 	if c.mapper.ValidCount(chip, block) > 0 {
 		c.evacuate(chip, block)
 	}
-	c.checkDegraded()
+	c.checkDieDegraded(chip)
 }
 
 // evacuate relocates a retired block's live pages through the GC
@@ -641,25 +711,67 @@ func (c *Controller) evacuate(chip, block int) {
 	c.relocate(chip, block, c.mapper.LivePages(chip, block))
 }
 
-// checkDegraded drops the device into read-only degraded mode when no
-// chip can make forward progress on writes anymore: no in-flight GC to
-// replenish a pool, no pool with flush headroom, and no GC victim left
-// to collect. Queued host writes that can no longer be admitted are
-// completed and counted as rejected (a real device would fail them
-// with a media error; reads keep working either way).
-func (c *Controller) checkDegraded() {
+// dieStuck reports that a die can make no forward progress on writes:
+// no in-flight GC to replenish its pool, no flush headroom in the
+// pool, and no GC victim left to collect.
+func (c *Controller) dieStuck(die int) bool {
+	if c.gcActive[die] || len(c.freeBlocks[die]) > 1 {
+		return false
+	}
+	if len(c.freeBlocks[die]) > 0 {
+		if _, ok := c.pickVictim(die); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// markDieDegraded drops one die to read-only: it is fenced at the
+// device so grants already queued on its channel or planes fail with
+// ErrDieFenced instead of programming a read-only die.
+func (c *Controller) markDieDegraded(die int) {
+	if c.dieDegraded[die] {
+		return
+	}
+	c.dieDegraded[die] = true
+	c.stats.DegradedDies++
+	c.dev.FenceDiePrograms(die)
+	// Abandon the die's write points: the fence refuses every future
+	// grant, so a cursor kept open here would claim word lines the die
+	// never programmed (e.g. one taken by a program the fence failed).
+	for _, cur := range c.actives[die] {
+		c.pol.BlockRetired(die, cur.Block)
+	}
+	c.actives[die] = nil
+}
+
+// checkDieDegraded degrades one die if it is stuck, then reassesses
+// the device. One dead die must not force the whole device read-only:
+// writes keep flowing to the surviving dies.
+func (c *Controller) checkDieDegraded(die int) {
+	if c.dieDegraded[die] || !c.dieStuck(die) {
+		return
+	}
+	c.markDieDegraded(die)
+	c.checkDeviceDegraded()
+}
+
+// checkDeviceDegraded drops the whole device into read-only degraded
+// mode once every die is degraded or stuck. Queued host writes that
+// can no longer be admitted are completed and counted as rejected (a
+// real device would fail them with a media error; reads keep working
+// either way).
+func (c *Controller) checkDeviceDegraded() {
 	if c.degraded {
 		return
 	}
-	for chip := 0; chip < c.geo.Chips; chip++ {
-		if c.gcActive[chip] || len(c.freeBlocks[chip]) > 1 {
+	for die := 0; die < c.geo.Chips; die++ {
+		if !c.dieDegraded[die] && !c.dieStuck(die) {
 			return
 		}
-		if len(c.freeBlocks[chip]) > 0 {
-			if _, ok := c.pickVictim(chip); ok {
-				return
-			}
-		}
+	}
+	for die := 0; die < c.geo.Chips; die++ {
+		c.markDieDegraded(die)
 	}
 	c.degraded = true
 	for _, pw := range c.pendingWrites {
@@ -667,6 +779,15 @@ func (c *Controller) checkDegraded() {
 		pw.done()
 	}
 	c.pendingWrites = nil
+}
+
+// checkDegraded sweeps every die (used when no single die can be
+// blamed, e.g. the flush timer finding no chip to flush to).
+func (c *Controller) checkDegraded() {
+	for die := 0; die < c.geo.Chips; die++ {
+		c.checkDieDegraded(die)
+	}
+	c.checkDeviceDegraded()
 }
 
 // isActive reports whether a block is an open write point on its chip.
@@ -679,14 +800,14 @@ func (c *Controller) isActive(chip, block int) bool {
 	return false
 }
 
-// checkGC starts garbage collection on a chip whose free pool ran low.
+// checkGC starts garbage collection on a die whose free pool ran low.
 func (c *Controller) checkGC(chip int) {
-	if c.gcActive[chip] || len(c.freeBlocks[chip]) > c.cfg.GCFreeBlocksLow {
+	if c.dieDegraded[chip] || c.gcActive[chip] || len(c.freeBlocks[chip]) > c.cfg.GCFreeBlocksLow {
 		return
 	}
 	victim, ok := c.pickVictim(chip)
 	if !ok {
-		c.checkDegraded()
+		c.checkDieDegraded(chip)
 		return
 	}
 	c.gcActive[chip] = true
@@ -787,11 +908,11 @@ func (c *Controller) gcPages(data [][]byte) [][]byte {
 func (c *Controller) gcWrite(chip, victim int, batch []LPN, data [][]byte, rest []LPN) {
 	cursor, layer, wl, err := c.allocateWL(chip)
 	if err != nil {
-		// The chip cannot accept relocations anymore. The batch's pages
+		// The die cannot accept relocations anymore. The batch's pages
 		// are still live and readable at the victim — nothing is lost —
 		// but this collection cycle cannot finish.
 		c.gcActive[chip] = false
-		c.checkDegraded()
+		c.checkDieDegraded(chip)
 		return
 	}
 	cursor.Take(layer, wl)
@@ -799,6 +920,14 @@ func (c *Controller) gcWrite(chip, victim int, batch []LPN, data [][]byte, rest 
 	params := c.pol.ProgramParams(chip, block, layer, wl)
 	addr := nand.Address{Block: block, Layer: layer, WL: wl}
 	c.dev.Program(chip, addr, c.gcPages(data), params, func(res nand.ProgramResult, err error) {
+		if errors.Is(err, ssd.ErrDieFenced) {
+			// Defensive: a fence cannot normally race an active GC cycle
+			// (gcActive blocks degrading the die), but if it ever does the
+			// victim's copies are still intact — just end the cycle.
+			c.stats.FencedPrograms++
+			c.gcActive[chip] = false
+			return
+		}
 		if err != nil {
 			// GC program failed: retire the destination and retry the
 			// same batch on a fresh word line (the source copies are

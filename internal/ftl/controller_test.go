@@ -15,8 +15,8 @@ import (
 func testDevice(seed uint64) (*sim.Engine, *ssd.Device) {
 	eng := sim.NewEngine()
 	cfg := ssd.DefaultConfig()
-	cfg.Buses = 1
-	cfg.ChipsPerBus = 2
+	cfg.Channels = 1
+	cfg.DiesPerChannel = 2
 	cfg.Chip.Process.BlocksPerChip = 24
 	cfg.Chip.Process.Layers = 8
 	cfg.Seed = seed

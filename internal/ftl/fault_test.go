@@ -8,6 +8,7 @@ import (
 	"cubeftl/internal/rng"
 	"cubeftl/internal/sim"
 	"cubeftl/internal/ssd"
+	"cubeftl/internal/vth"
 )
 
 // faultDevice builds a device for fault-handling tests: 2 chips, the
@@ -16,8 +17,8 @@ import (
 func faultDevice(seed uint64, blocks int) (*sim.Engine, *ssd.Device) {
 	eng := sim.NewEngine()
 	cfg := ssd.DefaultConfig()
-	cfg.Buses = 1
-	cfg.ChipsPerBus = 2
+	cfg.Channels = 1
+	cfg.DiesPerChannel = 2
 	cfg.Chip.Process.BlocksPerChip = blocks
 	cfg.Chip.Process.Layers = 8
 	cfg.Chip.StoreData = true
@@ -309,4 +310,196 @@ func TestChaosSoak(t *testing.T) {
 	t.Logf("soak: writes=%d pfail=%d efail=%d rfault=%d retired=%d recoveries=%d gc=%d",
 		st.HostWrites, st.ProgramFailures, st.EraseFailures, st.ReadFaults,
 		st.RetiredBlocks, st.FaultRecoveries, st.GCCount)
+}
+
+// A die that degrades while a program sits queued on the device's
+// resources must fail that program at grant time (ErrDieFenced) instead
+// of letting it write a read-only die: the data returns to the buffer
+// and lands on a surviving die.
+func TestDegradedFenceFailsQueuedPrograms(t *testing.T) {
+	eng, dev := faultDevice(19, 24)
+	cfg := DefaultControllerConfig()
+	cfg.WriteBufferPages = 32
+	cfg.VerifyData = true
+	c := NewController(dev, NewPagePolicy(), cfg)
+
+	// Two word-line groups: the first programs die 0 and holds the
+	// shared channel for its page transfers; the second targets die 1
+	// (inflight cap) and queues behind it on the channel resource.
+	const pages = 2 * vth.PagesPerWL
+	for lpn := LPN(0); lpn < pages; lpn++ {
+		if err := c.Write(lpn, func() {}); err != nil {
+			t.Fatalf("Write(%d): %v", lpn, err)
+		}
+	}
+	if c.inflight[0] != 1 || c.inflight[1] != 1 {
+		t.Fatalf("inflight = %v, want one program per die", c.inflight)
+	}
+	// Flip die 1 to degraded while its program is still waiting for a
+	// grant (die 0's transfers hold the channel until 60us).
+	eng.After(1000, func() {
+		if c.inflight[1] != 1 {
+			t.Error("die 1 program completed before the fence flipped")
+		}
+		c.markDieDegraded(1)
+	})
+	eng.Run()
+	eng.RunWhile(func() bool { return !c.Drained() })
+
+	st := c.Stats()
+	if st.FencedPrograms != 1 {
+		t.Fatalf("FencedPrograms = %d, want 1", st.FencedPrograms)
+	}
+	if !c.DieDegraded(1) || c.DieDegraded(0) {
+		t.Errorf("die degraded flags = [%v %v], want [false true]",
+			c.DieDegraded(0), c.DieDegraded(1))
+	}
+	if c.Degraded() {
+		t.Error("one degraded die forced the whole device read-only")
+	}
+	if st.DegradedDies != 1 {
+		t.Errorf("DegradedDies = %d, want 1", st.DegradedDies)
+	}
+	// Every page of the fenced group must have been re-flushed onto the
+	// surviving die — nothing programmed on die 1, nothing lost.
+	geo := dev.Geometry()
+	for lpn := LPN(0); lpn < pages; lpn++ {
+		ppn := c.Mapper().Lookup(lpn)
+		if ppn == ssd.UnmappedPPN {
+			t.Fatalf("LPN %d lost across the fence transition", lpn)
+		}
+		if die, _, _, _, _ := geo.DecodePPN(ppn); die != 0 {
+			t.Errorf("LPN %d mapped to fenced die %d", lpn, die)
+		}
+	}
+	if got := dev.Die(1).NAND.Stats().Programs; got != 0 {
+		t.Errorf("fenced die executed %d programs", got)
+	}
+	// The device keeps writing on the survivor, and data verifies.
+	for lpn := LPN(0); lpn < pages; lpn++ {
+		if err := c.Write(lpn, func() {}); err != nil {
+			t.Fatalf("post-fence Write(%d): %v", lpn, err)
+		}
+	}
+	eng.Run()
+	eng.RunWhile(func() bool { return !c.Drained() })
+	for lpn := LPN(0); lpn < pages; lpn++ {
+		c.Read(lpn, func() {})
+	}
+	eng.Run()
+	if st.DataMismatches != 0 {
+		t.Errorf("DataMismatches = %d", st.DataMismatches)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Die-kill chaos soak on a 2-channel x 4-die array: one die fails every
+// program and erase (a dead die). Only that die's blocks may retire, it
+// must degrade alone, and the device keeps serving reads and writes on
+// the seven survivors with the integrity oracle clean.
+func TestChaosSoakDieKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("die-kill soak skipped in -short mode")
+	}
+	eng := sim.NewEngine()
+	devCfg := ssd.DefaultConfig()
+	devCfg.Channels = 2
+	devCfg.DiesPerChannel = 4
+	devCfg.Chip.Process.BlocksPerChip = 48
+	devCfg.Chip.Process.Layers = 8
+	devCfg.Chip.StoreData = true
+	devCfg.Seed = 99
+	dev := ssd.New(eng, devCfg)
+	const deadDie = 3
+	dev.SetChipFaults(deadDie, nand.FaultConfig{ProgramFailRate: 1, EraseFailRate: 1})
+
+	cfg := DefaultControllerConfig()
+	cfg.WriteBufferPages = 64
+	cfg.VerifyData = true
+	c := NewController(dev, NewPagePolicy(), cfg)
+
+	src := rng.New(4242)
+	n := c.LogicalPages() * 3 / 10
+	ops := 40_000
+	outstanding := 0
+	var issue func()
+	issue = func() {
+		for outstanding < 16 && ops > 0 {
+			ops--
+			outstanding++
+			lpn := LPN(src.Intn(n))
+			done := func() { outstanding--; issue() }
+			switch src.Intn(10) {
+			case 0:
+				c.Trim(lpn, done)
+			case 1, 2, 3:
+				c.Read(lpn, done)
+			default:
+				if err := c.Write(lpn, done); err != nil {
+					t.Fatalf("host write failed with one dead die: %v", err)
+				}
+			}
+		}
+	}
+	issue()
+	eng.Run()
+	if !c.Drained() {
+		t.Fatal("not drained")
+	}
+	st := c.Stats()
+	if !c.DieDegraded(deadDie) {
+		t.Error("dead die never degraded")
+	}
+	if c.Degraded() {
+		t.Error("one dead die forced the whole device read-only")
+	}
+	if st.DegradedDies != 1 {
+		t.Errorf("DegradedDies = %d, want 1", st.DegradedDies)
+	}
+	for die := 0; die < dev.Dies(); die++ {
+		retired := 0
+		for b := 0; b < devCfg.Chip.Process.BlocksPerChip; b++ {
+			if c.IsRetired(die, b) {
+				retired++
+			}
+		}
+		if die == deadDie && retired == 0 {
+			t.Error("dead die retired no blocks")
+		}
+		if die != deadDie && retired != 0 {
+			t.Errorf("healthy die %d retired %d blocks", die, retired)
+		}
+	}
+	// Nothing may be mapped on the dead die: every program on it failed.
+	geo := dev.Geometry()
+	for lpn := LPN(0); lpn < LPN(n); lpn++ {
+		if ppn := c.Mapper().Lookup(lpn); ppn != ssd.UnmappedPPN {
+			if die, _, _, _, _ := geo.DecodePPN(ppn); die == deadDie {
+				t.Fatalf("LPN %d mapped to the dead die", lpn)
+			}
+		}
+	}
+	if st.DataMismatches != 0 {
+		t.Fatalf("DataMismatches = %d with one dead die", st.DataMismatches)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// The device is still writable after the die died.
+	wrote := 0
+	for lpn := LPN(0); lpn < 32; lpn++ {
+		if err := c.Write(lpn, func() { wrote++ }); err != nil {
+			t.Fatalf("post-kill write: %v", err)
+		}
+	}
+	eng.Run()
+	eng.RunWhile(func() bool { return !c.Drained() })
+	if wrote != 32 {
+		t.Errorf("post-kill writes completed = %d, want 32", wrote)
+	}
+	t.Logf("die-kill soak: writes=%d pfail=%d efail=%d retired=%d degradedDies=%d fenced=%d",
+		st.HostWrites, st.ProgramFailures, st.EraseFailures,
+		st.RetiredBlocks, st.DegradedDies, st.FencedPrograms)
 }

@@ -108,6 +108,12 @@ type Config struct {
 	// TraceCap keeps the most recent grants in a replayable trace for
 	// debugging (0 disables; the rolling hash is always maintained).
 	TraceCap int
+	// DieAffinity makes arbitration prefer queues whose head command
+	// targets an idle NAND die (writes and buffered reads are
+	// die-flexible and always eligible). When no candidate's die is
+	// idle the full eligible set is used, so no queue can starve. With
+	// a single queue this is a no-op. Off by default.
+	DieAffinity bool
 }
 
 // TenantStats is the per-tenant accounting of one queue pair.
@@ -208,7 +214,9 @@ type Host struct {
 	trace     []int
 	traceCap  int
 
-	scratch []QueueState // reused eligible-set buffer
+	dieAffinity bool
+	scratch     []QueueState // reused eligible-set buffer
+	affinity    []QueueState // reused die-affinity subset buffer
 }
 
 // New wires a host front end over the controller. The controller's
@@ -222,11 +230,12 @@ func New(ctrl *ftl.Controller, cfg Config) (*Host, error) {
 		arb = NewRoundRobin()
 	}
 	h := &Host{
-		eng:       ctrl.Engine(),
-		ctrl:      ctrl,
-		arb:       arb,
-		traceHash: fnvOffset,
-		traceCap:  cfg.TraceCap,
+		eng:         ctrl.Engine(),
+		ctrl:        ctrl,
+		arb:         arb,
+		traceHash:   fnvOffset,
+		traceCap:    cfg.TraceCap,
+		dieAffinity: cfg.DieAffinity,
 	}
 	sumDepth := 0
 	for i, qc := range cfg.Queues {
@@ -375,9 +384,35 @@ func (h *Host) dispatch() {
 		if len(el) == 0 {
 			return
 		}
+		if h.dieAffinity && len(el) > 1 {
+			aff := h.affinity[:0]
+			for _, qs := range el {
+				if h.headDieIdle(qs.Index) {
+					aff = append(aff, qs)
+				}
+			}
+			h.affinity = aff[:0]
+			if n := len(aff); n > 0 && n < len(el) {
+				el = aff
+			}
+		}
 		idx := h.arb.Pick(el, now)
 		h.grant(idx, now)
 	}
+}
+
+// headDieIdle reports whether a queue's head command could start on
+// NAND immediately: writes and buffered/unmapped reads are
+// die-flexible (the FTL places them), and a mapped read qualifies when
+// its die has nothing queued or running.
+func (h *Host) headDieIdle(qid int) bool {
+	q := h.queues[qid]
+	cmd := q.sq[q.head].cmd
+	if cmd.Op != Read {
+		return true
+	}
+	die := h.ctrl.TargetDie(ftl.LPN(cmd.LPN))
+	return die < 0 || !h.ctrl.DieBusy(die)
 }
 
 // grant fetches the head command of queue idx and issues it.

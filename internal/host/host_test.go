@@ -12,8 +12,8 @@ import (
 func newTestController(seed uint64) *ftl.Controller {
 	eng := sim.NewEngine()
 	cfg := ssd.DefaultConfig()
-	cfg.Buses = 1
-	cfg.ChipsPerBus = 2
+	cfg.Channels = 1
+	cfg.DiesPerChannel = 2
 	cfg.Chip.Process.BlocksPerChip = 24
 	cfg.Chip.Process.Layers = 8
 	cfg.Seed = seed

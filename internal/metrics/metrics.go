@@ -235,15 +235,26 @@ func (h *Hist) Percentile(p float64) int64 {
 	if rank < 1 {
 		rank = 1
 	}
+	if rank > n {
+		rank = n // float rounding near p=100 must not overshoot the count
+	}
 	if h.bucketed {
-		var cum int64
+		var cum, last int64
 		for i, c := range h.buckets {
+			if c == 0 {
+				continue
+			}
 			cum += c
+			last = bucketValue(i)
 			if cum >= rank {
-				return bucketValue(i)
+				return last
 			}
 		}
-		return int64(h.sum.Max())
+		// Unreachable once cum spans every sample, but never answer with
+		// sum.Max(): it can exceed the last occupied bucket's edge, and a
+		// bucketed histogram must not report finer (or larger) values
+		// than its bucket resolution holds.
+		return last
 	}
 	if !h.sorted {
 		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })

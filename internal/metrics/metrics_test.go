@@ -331,3 +331,70 @@ func TestQuickPercentileMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestBucketedPercentileClampedToLastOccupiedBucket(t *testing.T) {
+	// Regression: in bucketed mode the rank-exhaustion fallback used to
+	// answer with sum.Max(), which can sit far outside the last occupied
+	// bucket's lower edge (the histogram's actual resolution). Desync
+	// the summary count from the bucket mass the way that bug surfaced
+	// and check the answer is clamped to the last occupied edge.
+	h := NewHist(4)
+	for _, v := range []int64{100, 2_000, 1_234_567, 1_234_567} {
+		h.Add(v) // crosses capacity: spills to buckets
+	}
+	if !h.bucketed {
+		t.Fatal("histogram did not spill")
+	}
+	h.sum.Add(5_000_000) // summary-only mass: rank can exceed bucket mass
+	edge := bucketValue(bucketOf(1_234_567))
+	if got := h.Percentile(100); got != edge {
+		t.Fatalf("P100 = %d, want last occupied bucket edge %d", got, edge)
+	}
+	if got := h.Percentile(100); got >= 5_000_000 {
+		t.Fatalf("P100 = %d escaped the bucket range (sum.Max leak)", got)
+	}
+}
+
+func TestMergePercentileStaysOnBucketEdges(t *testing.T) {
+	// exact->bucketed and bucketed->exact merges: once the result is
+	// bucketed, every percentile (P100 included) must land on the lower
+	// edge of an occupied bucket, never above it.
+	vals := []int64{3, 70, 900, 44_000, 1_234_567}
+	build := func(capacity int, vs ...int64) *Hist {
+		h := NewHist(capacity)
+		for _, v := range vs {
+			h.Add(v)
+		}
+		return h
+	}
+	for _, tc := range []struct {
+		name string
+		a, b *Hist
+	}{
+		{"bucketed<-exact", build(2, vals...), build(1<<20, vals...)},
+		{"exact-spilling<-bucketed", build(8, vals...), build(2, vals...)},
+	} {
+		tc.a.Merge(tc.b)
+		if !tc.a.bucketed {
+			t.Fatalf("%s: merge result not bucketed", tc.name)
+		}
+		if tc.a.N() != int64(2*len(vals)) {
+			t.Fatalf("%s: N = %d", tc.name, tc.a.N())
+		}
+		top := bucketValue(bucketOf(1_234_567))
+		prev := int64(-1)
+		for p := float64(1); p <= 100; p++ {
+			v := tc.a.Percentile(p)
+			if v < prev {
+				t.Fatalf("%s: P%v = %d < P%v = %d (not monotone)", tc.name, p, v, p-1, prev)
+			}
+			if v > top {
+				t.Fatalf("%s: P%v = %d above last occupied edge %d", tc.name, p, v, top)
+			}
+			prev = v
+		}
+		if got := tc.a.Percentile(100); got != top {
+			t.Fatalf("%s: P100 = %d, want %d", tc.name, got, top)
+		}
+	}
+}

@@ -1,15 +1,19 @@
-// Package ssd assembles NAND chips into a timed storage device: buses,
-// per-chip command serialization, and asynchronous read/program/erase
-// operations driven by the discrete-event engine. The paper's target
-// configuration is 2 buses x 4 3D TLC chips (§6.1).
+// Package ssd assembles a NAND array into a timed storage device:
+// per-channel buses, per-die command serialization, and asynchronous
+// read/program/erase operations driven by the discrete-event engine.
+// The paper's target configuration is 2 channels x 4 3D TLC dies
+// (§6.1); the topology scales to arbitrary C channels x D dies.
 //
 // The device layer knows nothing about mapping or policies — that is
 // the FTL's job (packages ftl and core). It provides exactly what an
 // SSD controller's flash interface layer provides: issue an operation
-// against a chip, share the bus for transfers, get a completion.
+// against a die, share the channel for transfers, get a completion.
+// Programs on distinct dies overlap; transfers on one channel
+// serialize.
 package ssd
 
 import (
+	"errors"
 	"fmt"
 
 	"cubeftl/internal/nand"
@@ -17,21 +21,30 @@ import (
 	"cubeftl/internal/vth"
 )
 
+// ErrDieFenced reports a program refused because the die has been
+// fenced (its FTL-side pool is exhausted and the die is read-only).
+// Fencing happens at grant time, so operations already queued on the
+// die's resources when the fence goes up complete with this error
+// instead of silently programming a read-only die.
+var ErrDieFenced = errors.New("ssd: program on fenced (read-only) die")
+
 // Config describes the device organization.
 type Config struct {
-	Buses       int
-	ChipsPerBus int
-	Chip        nand.Config // template; each chip derives a unique seed
-	Seed        uint64
+	// Channels is the number of independent data buses; DiesPerChannel
+	// the dies behind each. Die i sits on channel i % Channels.
+	Channels       int
+	DiesPerChannel int
+	Chip           nand.Config // template; each die derives a unique seed
+	Seed           uint64
 
 	// PlanesPerChip splits each die into independently operating
 	// planes (blocks are interleaved across planes by block number),
-	// letting operations on different planes of one chip overlap.
+	// letting operations on different planes of one die overlap.
 	// Zero or one selects the paper's single-plane model.
 	PlanesPerChip int
 
-	// SuspendOps enables program/erase suspend-resume: long chip
-	// operations hold the chip in ISPP-loop-sized segments, letting
+	// SuspendOps enables program/erase suspend-resume: long die
+	// operations hold the die in ISPP-loop-sized segments, letting
 	// queued reads interleave instead of waiting out a full ~700 us
 	// program or ~3.5 ms erase. This is the paper's §8 direction of
 	// building SSDs with deterministic read latency on top of the
@@ -40,23 +53,25 @@ type Config struct {
 	SuspendOps bool
 }
 
-// DefaultConfig returns the paper's 2-bus x 4-chip device.
+// DefaultConfig returns the paper's 2-channel x 4-die device.
 func DefaultConfig() Config {
 	return Config{
-		Buses:       2,
-		ChipsPerBus: 4,
-		Chip:        nand.DefaultConfig(),
-		Seed:        1,
+		Channels:       2,
+		DiesPerChannel: 4,
+		Chip:           nand.DefaultConfig(),
+		Seed:           1,
 	}
 }
 
 // Geometry summarizes the device's physical page space.
 type Geometry struct {
-	Chips         int
-	BlocksPerChip int
-	Layers        int
-	WLsPerLayer   int
-	PageBytes     int
+	Chips          int // total dies (kept as "Chips" for PPN math compat)
+	Channels       int
+	DiesPerChannel int
+	BlocksPerChip  int
+	Layers         int
+	WLsPerLayer    int
+	PageBytes      int
 }
 
 // WLsPerBlock returns word lines per block.
@@ -100,56 +115,74 @@ func (g Geometry) DecodePPN(p PPN) (chip, block, layer, wl, page int) {
 	return
 }
 
-// ChipHandle pairs a NAND die with its per-plane command-serialization
-// resources and the bus it shares.
-type ChipHandle struct {
-	ID     int
-	NAND   *nand.Chip
-	planes []*sim.Resource
-	bus    *sim.Resource
+// DieHandle pairs one NAND die with its per-plane command-serialization
+// resources and the channel it shares.
+type DieHandle struct {
+	ID      int
+	NAND    *nand.Chip
+	planes  []*sim.Resource
+	channel *sim.Resource
+	// fenced marks the die read-only at the device level: programs —
+	// including ones already queued on the die's resources — complete
+	// with ErrDieFenced at grant time instead of touching NAND state.
+	fenced bool
 }
 
+// ChipHandle is the pre-topology name for DieHandle.
+type ChipHandle = DieHandle
+
 // resFor returns the plane resource serving a block.
-func (ch *ChipHandle) resFor(block int) *sim.Resource {
+func (ch *DieHandle) resFor(block int) *sim.Resource {
 	return ch.planes[block%len(ch.planes)]
 }
 
+// Channel returns the die's channel (bus) resource.
+func (ch *DieHandle) Channel() *sim.Resource { return ch.channel }
+
+// Fenced reports whether the die rejects programs at grant time.
+func (ch *DieHandle) Fenced() bool { return ch.fenced }
+
 // Device is the assembled SSD back end.
 type Device struct {
-	eng   *sim.Engine
-	cfg   Config
-	buses []*sim.Resource
-	chips []*ChipHandle
+	eng      *sim.Engine
+	cfg      Config
+	array    *nand.Array
+	channels []*sim.Resource
+	dies     []*DieHandle
 }
 
 // New builds a device on the given engine.
 func New(eng *sim.Engine, cfg Config) *Device {
-	if cfg.Buses <= 0 || cfg.ChipsPerBus <= 0 {
+	if cfg.Channels <= 0 || cfg.DiesPerChannel <= 0 {
 		panic(fmt.Sprintf("ssd: invalid organization %+v", cfg))
 	}
 	d := &Device{eng: eng, cfg: cfg}
-	d.buses = make([]*sim.Resource, cfg.Buses)
-	for b := range d.buses {
-		d.buses[b] = sim.NewResource(eng, fmt.Sprintf("bus%d", b))
+	d.array = nand.NewArray(nand.ArrayConfig{
+		Channels:       cfg.Channels,
+		DiesPerChannel: cfg.DiesPerChannel,
+		Chip:           cfg.Chip,
+		Seed:           cfg.Seed,
+	})
+	d.channels = make([]*sim.Resource, cfg.Channels)
+	for c := range d.channels {
+		d.channels[c] = sim.NewResource(eng, fmt.Sprintf("chan%d", c))
 	}
 	planes := cfg.PlanesPerChip
 	if planes < 1 {
 		planes = 1
 	}
-	n := cfg.Buses * cfg.ChipsPerBus
-	d.chips = make([]*ChipHandle, n)
+	n := d.array.Dies()
+	d.dies = make([]*DieHandle, n)
 	for i := 0; i < n; i++ {
-		chipCfg := cfg.Chip
-		chipCfg.Process.Seed = cfg.Seed*1_000_003 + uint64(i)*7919
-		ch := &ChipHandle{
-			ID:   i,
-			NAND: nand.New(chipCfg),
-			bus:  d.buses[i%cfg.Buses],
+		dh := &DieHandle{
+			ID:      i,
+			NAND:    d.array.Die(i),
+			channel: d.channels[d.array.ChannelOf(i)],
 		}
 		for p := 0; p < planes; p++ {
-			ch.planes = append(ch.planes, sim.NewResource(eng, fmt.Sprintf("chip%d/plane%d", i, p)))
+			dh.planes = append(dh.planes, sim.NewResource(eng, fmt.Sprintf("die%d/plane%d", i, p)))
 		}
-		d.chips[i] = ch
+		d.dies[i] = dh
 	}
 	return d
 }
@@ -160,96 +193,122 @@ func (d *Device) Engine() *sim.Engine { return d.eng }
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
 
-// Chips returns the number of chips.
-func (d *Device) Chips() int { return len(d.chips) }
+// Array returns the underlying NAND topology.
+func (d *Device) Array() *nand.Array { return d.array }
 
-// Chip returns a chip handle.
-func (d *Device) Chip(i int) *ChipHandle { return d.chips[i] }
+// Chips returns the total die count (pre-topology name; see Dies).
+func (d *Device) Chips() int { return len(d.dies) }
+
+// Dies returns the total die count.
+func (d *Device) Dies() int { return len(d.dies) }
+
+// Channels returns the channel count.
+func (d *Device) Channels() int { return len(d.channels) }
+
+// Chip returns a die handle (pre-topology name; see Die).
+func (d *Device) Chip(i int) *DieHandle { return d.dies[i] }
+
+// Die returns a die handle.
+func (d *Device) Die(i int) *DieHandle { return d.dies[i] }
+
+// ChannelOf returns the channel index serving a die.
+func (d *Device) ChannelOf(die int) int { return d.array.ChannelOf(die) }
+
+// FenceDiePrograms makes a die refuse programs — including any already
+// queued on its plane or channel resources — with ErrDieFenced from
+// this instant on. The FTL fences a die when it transitions to per-die
+// degraded (read-only) mode so that in-flight grants cannot program a
+// die the controller has already written off. Reads are unaffected.
+func (d *Device) FenceDiePrograms(die int) { d.dies[die].fenced = true }
+
+// DieFenced reports whether a die refuses programs.
+func (d *Device) DieFenced(die int) bool { return d.dies[die].fenced }
 
 // Geometry returns the device's page-space geometry.
 func (d *Device) Geometry() Geometry {
 	p := d.cfg.Chip.Process
 	return Geometry{
-		Chips:         len(d.chips),
-		BlocksPerChip: p.BlocksPerChip,
-		Layers:        p.Layers,
-		WLsPerLayer:   p.WLsPerLayer,
-		PageBytes:     d.cfg.Chip.PageBytes,
+		Chips:          len(d.dies),
+		Channels:       d.cfg.Channels,
+		DiesPerChannel: d.cfg.DiesPerChannel,
+		BlocksPerChip:  p.BlocksPerChip,
+		Layers:         p.Layers,
+		WLsPerLayer:    p.WLsPerLayer,
+		PageBytes:      d.cfg.Chip.PageBytes,
 	}
 }
 
-// PreAge puts every block of every chip at the given wear and pins the
+// PreAge puts every block of every die at the given wear and pins the
 // retention age seen by reads — the paper's pre-aged evaluation states.
 func (d *Device) PreAge(pe int, retentionMonths float64) {
-	for _, ch := range d.chips {
-		for b := 0; b < ch.NAND.Blocks(); b++ {
-			ch.NAND.SetPECycles(b, pe)
-		}
-		ch.NAND.SetFixedRetention(retentionMonths)
-	}
+	d.array.PreAge(pe, retentionMonths)
 }
 
 // SetReadJitterProb applies a per-read optimal-offset jitter probability
-// to every chip (environmental fluctuation; see nand.Chip).
-func (d *Device) SetReadJitterProb(p float64) {
-	for _, ch := range d.chips {
-		ch.NAND.SetReadJitterProb(p)
-	}
-}
+// to every die (environmental fluctuation; see nand.Chip).
+func (d *Device) SetReadJitterProb(p float64) { d.array.SetReadJitterProb(p) }
 
 // SetDisturbProb applies a per-program environmental-disturbance
-// probability to every chip (§4.1.4; see nand.Chip).
-func (d *Device) SetDisturbProb(p float64) {
-	for _, ch := range d.chips {
-		ch.NAND.SetDisturbProb(p)
-	}
+// probability to every die (§4.1.4; see nand.Chip).
+func (d *Device) SetDisturbProb(p float64) { d.array.SetDisturbProb(p) }
+
+// SetFaults installs one fault-injection config on every die. Each die
+// draws from its own seed-derived stream, so two dies with the same
+// config still fail at independent, reproducible points.
+func (d *Device) SetFaults(cfg nand.FaultConfig) { d.array.SetFaults(cfg) }
+
+// SetChipFaults installs a fault-injection config on one die
+// (per-die fault shaping; e.g. a single marginal die).
+func (d *Device) SetChipFaults(die int, cfg nand.FaultConfig) {
+	d.array.SetDieFaults(die, cfg)
 }
 
-// SetFaults installs one fault-injection config on every chip. Each
-// chip draws from its own seed-derived stream, so two chips with the
-// same config still fail at independent, reproducible points.
-func (d *Device) SetFaults(cfg nand.FaultConfig) {
-	for _, ch := range d.chips {
-		ch.NAND.SetFaults(cfg)
-	}
-}
-
-// SetChipFaults installs a fault-injection config on one chip
-// (per-chip fault shaping; e.g. a single marginal die).
-func (d *Device) SetChipFaults(chip int, cfg nand.FaultConfig) {
-	d.chips[chip].NAND.SetFaults(cfg)
-}
-
-// Read performs a timed page read: the chip is held for the sense (and
-// any retries), then the bus for the data transfer. done receives the
-// NAND result; on an uncorrectable page err is non-nil and the latency
-// in res still reflects the time spent.
-func (d *Device) Read(chip int, a nand.Address, p nand.ReadParams, done func(res nand.ReadResult, err error)) {
-	ch := d.chips[chip]
-	plane := ch.resFor(a.Block)
+// Read performs a timed page read: the die is held for the sense (and
+// any retries), then the channel for the data transfer. done receives
+// the NAND result; on an uncorrectable page err is non-nil and the
+// latency in res still reflects the time spent. Reads work on fenced
+// (read-only) dies.
+func (d *Device) Read(die int, a nand.Address, p nand.ReadParams, done func(res nand.ReadResult, err error)) {
+	dh := d.dies[die]
+	plane := dh.resFor(a.Block)
 	plane.Acquire(func() {
-		res, err := ch.NAND.ReadPage(a, p)
+		res, err := dh.NAND.ReadPage(a, p)
 		d.eng.After(res.LatencyNs, func() {
 			plane.Release()
 			if err != nil {
 				done(res, err)
 				return
 			}
-			ch.bus.Hold(vth.TXferPageNs, func() { done(res, nil) })
+			dh.channel.Hold(vth.TXferPageNs, func() { done(res, nil) })
 		})
 	})
 }
 
-// Program performs a timed one-shot word-line program: the bus is held
-// for the three page transfers, then the chip for the ISPP operation.
-// With SuspendOps the chip is held one ISPP loop at a time, so queued
-// reads interleave between loops (program suspend-resume).
-func (d *Device) Program(chip int, a nand.Address, pages [][]byte, p nand.ProgramParams, done func(res nand.ProgramResult, err error)) {
-	ch := d.chips[chip]
-	plane := ch.resFor(a.Block)
-	ch.bus.Hold(int64(vth.PagesPerWL)*vth.TXferPageNs, func() {
+// Program performs a timed one-shot word-line program: the channel is
+// held for the three page transfers, then the die for the ISPP
+// operation. With SuspendOps the die is held one ISPP loop at a time,
+// so queued reads interleave between loops (program suspend-resume).
+// A fenced die completes the program with ErrDieFenced at grant time —
+// before any NAND state mutates — so grants queued behind the fence
+// transition cannot write a read-only die.
+func (d *Device) Program(die int, a nand.Address, pages [][]byte, p nand.ProgramParams, done func(res nand.ProgramResult, err error)) {
+	dh := d.dies[die]
+	if dh.fenced {
+		// Fast-fail before burning channel time on the transfers.
+		d.eng.After(0, func() { done(nand.ProgramResult{}, ErrDieFenced) })
+		return
+	}
+	plane := dh.resFor(a.Block)
+	dh.channel.Hold(int64(vth.PagesPerWL)*vth.TXferPageNs, func() {
 		plane.Acquire(func() {
-			res, err := ch.NAND.ProgramWL(a, pages, p)
+			if dh.fenced {
+				// The fence went up while this program waited for its
+				// grant: refuse it before touching NAND state.
+				plane.Release()
+				done(nand.ProgramResult{}, ErrDieFenced)
+				return
+			}
+			res, err := dh.NAND.ProgramWL(a, pages, p)
 			if err != nil {
 				// A program-status failure is only discovered after the
 				// full ISPP sequence: charge its time before completing.
@@ -272,11 +331,11 @@ func (d *Device) Program(chip int, a nand.Address, pages [][]byte, p nand.Progra
 
 // Erase performs a timed block erase. With SuspendOps the ~3.5 ms
 // operation is suspendable at eight points.
-func (d *Device) Erase(chip, block int, done func(res nand.EraseResult, err error)) {
-	ch := d.chips[chip]
-	plane := ch.resFor(block)
+func (d *Device) Erase(die, block int, done func(res nand.EraseResult, err error)) {
+	dh := d.dies[die]
+	plane := dh.resFor(block)
 	plane.Acquire(func() {
-		res, err := ch.NAND.EraseBlock(block)
+		res, err := dh.NAND.EraseBlock(block)
 		if err != nil {
 			// Erase failures spend the full erase time before the status
 			// check reports them; validation rejections are instant.
@@ -294,12 +353,12 @@ func (d *Device) Erase(chip, block int, done func(res nand.EraseResult, err erro
 	})
 }
 
-// holdSegmentedAcquired occupies an already-acquired chip for total
+// holdSegmentedAcquired occupies an already-acquired die for total
 // nanoseconds in the given number of segments, releasing and
 // re-acquiring between segments so queued operations (reads, in
 // particular) can interleave — the suspend-resume point. The NAND state
 // mutation has already happened at acquisition, preserving FIFO
-// ordering of operations against the chip.
+// ordering of operations against the die.
 func (d *Device) holdSegmentedAcquired(res *sim.Resource, total int64, segments int, then func()) {
 	if segments <= 1 {
 		d.eng.After(total, func() {
@@ -330,24 +389,27 @@ func (d *Device) holdSegmentedAcquired(res *sim.Resource, total int64, segments 
 	step()
 }
 
-// BusUtilization reports the mean utilization across buses.
+// BusUtilization reports the mean utilization across channels.
 func (d *Device) BusUtilization() float64 {
-	if len(d.buses) == 0 {
+	if len(d.channels) == 0 {
 		return 0
 	}
 	sum := 0.0
-	for _, b := range d.buses {
-		sum += b.Utilization()
+	for _, c := range d.channels {
+		sum += c.Utilization()
 	}
-	return sum / float64(len(d.buses))
+	return sum / float64(len(d.channels))
 }
 
-// ChipUtilization reports the mean utilization across chips (averaged
+// ChannelUtilization reports one channel's utilization.
+func (d *Device) ChannelUtilization(c int) float64 { return d.channels[c].Utilization() }
+
+// ChipUtilization reports the mean utilization across dies (averaged
 // over planes).
 func (d *Device) ChipUtilization() float64 {
 	sum, n := 0.0, 0
-	for _, c := range d.chips {
-		for _, p := range c.planes {
+	for _, dh := range d.dies {
+		for _, p := range dh.planes {
 			sum += p.Utilization()
 			n++
 		}
@@ -355,9 +417,18 @@ func (d *Device) ChipUtilization() float64 {
 	return sum / float64(n)
 }
 
-// QueueDepth returns the number of operations waiting on the chip
+// DieUtilization reports one die's utilization (averaged over planes).
+func (d *Device) DieUtilization(die int) float64 {
+	sum := 0.0
+	for _, p := range d.dies[die].planes {
+		sum += p.Utilization()
+	}
+	return sum / float64(len(d.dies[die].planes))
+}
+
+// QueueDepth returns the number of operations waiting on the die
 // across its planes.
-func (ch *ChipHandle) QueueDepth() int {
+func (ch *DieHandle) QueueDepth() int {
 	n := 0
 	for _, p := range ch.planes {
 		n += p.QueueLen()
@@ -365,8 +436,8 @@ func (ch *ChipHandle) QueueDepth() int {
 	return n
 }
 
-// Busy reports whether any plane of the chip is mid-operation.
-func (ch *ChipHandle) Busy() bool {
+// Busy reports whether any plane of the die is mid-operation.
+func (ch *DieHandle) Busy() bool {
 	for _, p := range ch.planes {
 		if p.Busy() {
 			return true

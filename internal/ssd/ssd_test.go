@@ -91,8 +91,8 @@ func TestProgramThenReadTiming(t *testing.T) {
 func TestBusSharedChipsParallelOps(t *testing.T) {
 	eng := sim.NewEngine()
 	cfg := smallConfig()
-	cfg.Buses = 1
-	cfg.ChipsPerBus = 2
+	cfg.Channels = 1
+	cfg.DiesPerChannel = 2
 	d := New(eng, cfg)
 	var done []sim.Time
 	for chip := 0; chip < 2; chip++ {
@@ -256,8 +256,8 @@ func TestMultiPlaneParallelism(t *testing.T) {
 	run := func(planes int) sim.Time {
 		eng := sim.NewEngine()
 		cfg := smallConfig()
-		cfg.Buses = 1
-		cfg.ChipsPerBus = 1
+		cfg.Channels = 1
+		cfg.DiesPerChannel = 1
 		cfg.PlanesPerChip = planes
 		d := New(eng, cfg)
 		done := 0

@@ -33,6 +33,9 @@ type Result struct {
 	// (degraded read-only mode). Rejected pages complete immediately so
 	// the closed loop keeps running against a failing device.
 	Rejects int64
+	// TraceHash fingerprints the host grant sequence: equal hashes
+	// across two runs mean bit-identical dispatch replay.
+	TraceHash uint64
 }
 
 // IOPS is the run's completed requests per simulated second.
@@ -58,6 +61,10 @@ type MultiRunConfig struct {
 	DispatchWidth int
 	// TraceCap retains the last grants for debugging (0 = hash only).
 	TraceCap int
+	// DieAffinity turns on die-aware arbitration: queues whose head
+	// command targets an idle NAND die are preferred (no-op with a
+	// single queue; see host.Config.DieAffinity).
+	DieAffinity bool
 }
 
 // TenantResult is one tenant's view of a multi-queue run.
@@ -190,6 +197,7 @@ func RunTenants(ctrl *ftl.Controller, specs []TenantSpec, cfg MultiRunConfig) (M
 		Arb:           cfg.Arbiter,
 		DispatchWidth: cfg.DispatchWidth,
 		TraceCap:      cfg.TraceCap,
+		DieAffinity:   cfg.DieAffinity,
 	})
 	if err != nil {
 		return MultiResult{}, err
@@ -269,6 +277,7 @@ func Run(ctrl *ftl.Controller, gen Generator, cfg RunConfig) Result {
 		ReadLat:   t.ReadLat,
 		WriteLat:  t.WriteLat,
 		Rejects:   t.Rejects,
+		TraceHash: mr.TraceHash,
 	}
 }
 

@@ -195,13 +195,29 @@ var Bulk = Profile{
 	SeqWriteFrac:  0.9,
 }
 
+// Mixed is a balanced 50/50 read/write stream over mixed request
+// sizes with moderate skew and no think time: a saturating generator
+// that keeps every queue full, so device throughput tracks how much
+// channel/die parallelism the backend exposes. It is the workload the
+// die-scaling experiment (ext-parallel) sweeps.
+var Mixed = Profile{
+	Name:          "Mixed",
+	ReadFraction:  0.50,
+	SizesPages:    []int{1, 2, 4},
+	SizeWeights:   []float64{0.6, 0.25, 0.15},
+	Theta:         0.9,
+	FootprintFrac: 0.7,
+	SeqWriteFrac:  0.3,
+	BurstLen:      0,
+}
+
 // All lists the evaluation workloads in the paper's order (Fig 17).
 var All = []Profile{Mail, Web, Proxy, OLTP, Rocks, Mongo}
 
 // Extended lists every built-in workload, including the extra YCSB
-// profiles and the Bulk noisy-neighbor stream not used by the paper's
-// figures.
-var Extended = append(append([]Profile{}, All...), YCSBB, YCSBC, Bulk)
+// profiles, the Bulk noisy-neighbor stream, and the Mixed saturation
+// stream not used by the paper's figures.
+var Extended = append(append([]Profile{}, All...), YCSBB, YCSBC, Bulk, Mixed)
 
 // ByName finds a profile (case-sensitive).
 func ByName(name string) (Profile, bool) {

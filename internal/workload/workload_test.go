@@ -101,8 +101,8 @@ func TestStreamSkew(t *testing.T) {
 func newTestController(seed uint64) *ftl.Controller {
 	eng := sim.NewEngine()
 	cfg := ssd.DefaultConfig()
-	cfg.Buses = 1
-	cfg.ChipsPerBus = 2
+	cfg.Channels = 1
+	cfg.DiesPerChannel = 2
 	cfg.Chip.Process.BlocksPerChip = 24
 	cfg.Chip.Process.Layers = 8
 	cfg.Seed = seed
@@ -162,11 +162,15 @@ func TestRunReadsAfterPrefillHitFlash(t *testing.T) {
 }
 
 func TestExtendedProfiles(t *testing.T) {
-	if len(Extended) != len(All)+3 {
+	if len(Extended) != len(All)+4 {
 		t.Fatalf("extended = %d", len(Extended))
 	}
 	if _, ok := ByName("YCSB-B"); !ok {
 		t.Error("YCSB-B missing")
+	}
+	m, ok := ByName("Mixed")
+	if !ok || m.ReadFraction != 0.50 || m.BurstLen != 0 {
+		t.Errorf("Mixed = %+v", m)
 	}
 	b, ok := ByName("Bulk")
 	if !ok || b.ReadFraction != 0 {
