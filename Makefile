@@ -2,7 +2,7 @@
 # long tests hide behind -short here; `make soak` runs them in full.
 GO ?= go
 
-.PHONY: tier1 build vet test race race-core bench-scale soak figures demo clean
+.PHONY: tier1 build vet test race race-core bench-scale bench-telemetry trace-demo soak figures demo clean
 
 tier1: build vet race race-core
 
@@ -20,15 +20,28 @@ race:
 	$(GO) test -race -short ./...
 
 # Full (non-short) race run over the concurrency-sensitive core: the
-# event engine, the FTL (per-die degraded transitions), and the
-# multi-queue host front end.
+# event engine, the FTL (per-die degraded transitions), the multi-queue
+# host front end, and the telemetry registry/tracer.
 race-core:
-	$(GO) test -race ./internal/sim ./internal/ftl ./internal/host
+	$(GO) test -race ./internal/sim ./internal/ftl ./internal/host ./internal/telemetry
 
 # Multi-die scaling gate: fails if a 2x4 backend delivers less than
 # 1.5x the single-die Mixed IOPS (or if same-seed replay diverges).
 bench-scale:
 	$(GO) test -run TestBenchScale -v ./internal/experiment
+
+# Observability overhead check: Mixed with telemetry fully off vs fully
+# on (tracer + 1ms sampler). The telemetry-off number is the one the
+# <2% overhead contract in EXPERIMENTS.md is measured against.
+bench-telemetry:
+	$(GO) test -run xxx -bench 'BenchmarkMixedTelemetry' -benchtime 5x -count 3 .
+
+# Chaos trace demo: kill die 3 mid-run and capture the full observability
+# bundle — Chrome trace (open in https://ui.perfetto.dev), stats JSONL,
+# and the per-stage latency breakdown.
+trace-demo:
+	$(GO) run ./cmd/cubesim -workload Mixed -requests 8000 -qd 16 \
+		-killdie 3 -trace-out trace.json -stats-out stats.jsonl -breakdown
 
 # Full suite including the fault-injection chaos soak.
 soak:

@@ -6,7 +6,9 @@ package cubeftl
 // end to end. Paper-vs-measured numbers are recorded in EXPERIMENTS.md.
 
 import (
+	"io"
 	"testing"
+	"time"
 
 	"cubeftl/internal/experiment"
 	"cubeftl/internal/workload"
@@ -264,6 +266,48 @@ func BenchmarkWorkloadThroughput(b *testing.B) {
 		}
 	}
 }
+
+// benchMixed runs the Mixed workload once with or without the full
+// telemetry layer (tracer + sampler to a discard sink + stage
+// attribution) — the pair quantifies observability overhead.
+func benchMixed(b *testing.B, enableTelemetry bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		dev, err := New(Options{FTL: FTLCube, BlocksPerChip: 32, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev.Prefill(int64(dev.LogicalPages()) * 6 / 10)
+		dev.ResetStats()
+		if enableTelemetry {
+			dev.EnableTelemetry(TelemetryConfig{Trace: true})
+			if err := dev.StartStats(io.Discard, time.Millisecond); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st, err := dev.RunWorkload("Mixed", 4000, 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Requests != 4000 {
+			b.Fatalf("incomplete run: %d", st.Requests)
+		}
+		if enableTelemetry {
+			if err := dev.CloseStats(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMixedTelemetryOff is the baseline for the observability
+// overhead contract: telemetry disabled entirely (nil hub in the
+// datapath).
+func BenchmarkMixedTelemetryOff(b *testing.B) { benchMixed(b, false) }
+
+// BenchmarkMixedTelemetryOn runs the identical workload with spans,
+// events, stage attribution, and 1 ms sampling all enabled.
+func BenchmarkMixedTelemetryOn(b *testing.B) { benchMixed(b, true) }
 
 // BenchmarkExtensionTailLatency runs the §8 future-work extension:
 // PS-aware reads plus program/erase suspend-resume for deterministic

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cubeftl"
 )
@@ -48,12 +49,30 @@ func main() {
 	rate := flag.String("rate", "", "per-tenant IOPS caps, comma-separated; 0 = unlimited (e.g. '0,20000')")
 	prios := flag.String("prios", "", "per-tenant strict-priority classes, comma-separated; higher = more urgent")
 	width := flag.Int("width", 32, "device dispatch width shared by all tenant queues (multi-tenant mode)")
+	obs := obsConfig{}
+	flag.StringVar(&obs.traceOut, "trace-out", "", "write a Chrome trace_event JSON file of the run (open in Perfetto)")
+	flag.StringVar(&obs.statsOut, "stats-out", "", "write periodic JSONL telemetry snapshots to this file")
+	flag.DurationVar(&obs.statsInterval, "stats-interval", time.Millisecond, "simulated time between -stats-out snapshots")
+	flag.BoolVar(&obs.breakdown, "breakdown", false, "print per-stage latency attribution after the run")
+	flag.IntVar(&obs.killDie, "killdie", -1, "chaos: make one die fail every program and erase (degrades it mid-run)")
+	flag.StringVar(&obs.cpuProfile, "cpuprofile", "", "write a CPU profile of the simulator process to this file")
+	flag.StringVar(&obs.memProfile, "memprofile", "", "write a heap profile at exit to this file")
+	flag.StringVar(&obs.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if err := validateTopology(*channels, *dies); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if err := obs.startProfiling(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := obs.stopProfiling(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 	opts := cubeftl.Options{
 		FTL:             *ftlName,
 		Channels:        *channels,
@@ -99,8 +118,17 @@ func main() {
 		dev.ResetStats()
 	}
 
+	if err := obs.startTelemetry(dev); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	if *queues != "" {
 		if err := runMultiTenant(dev, *queues, *arb, *weights, *rate, *prios, *width, *requests, *qd); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := obs.finishTelemetry(dev); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -146,6 +174,10 @@ func main() {
 	if cs := dev.Cube(); cs.LeaderPrograms+cs.FollowerPrograms > 0 {
 		fmt.Printf("  PS-aware: %d leaders, %d followers, %d safety rejects, ORT %d hits / %d misses (%d bytes)\n",
 			cs.LeaderPrograms, cs.FollowerPrograms, cs.SafetyRejects, cs.ORTHits, cs.ORTMisses, cs.ORTBytes)
+	}
+	if err := obs.finishTelemetry(dev); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,149 @@
+// Observability wiring for cubesim: Chrome trace export, periodic JSONL
+// telemetry snapshots, per-stage latency attribution, and Go profiling
+// hooks (-cpuprofile/-memprofile/-pprof-addr).
+package main
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"cubeftl"
+)
+
+// obsConfig collects the observability and profiling flag values.
+type obsConfig struct {
+	traceOut      string
+	statsOut      string
+	statsInterval time.Duration
+	breakdown     bool
+	killDie       int
+	cpuProfile    string
+	memProfile    string
+	pprofAddr     string
+
+	statsFile *os.File
+	cpuFile   *os.File
+}
+
+// telemetryWanted reports whether any telemetry sink was requested.
+func (o *obsConfig) telemetryWanted() bool {
+	return o.traceOut != "" || o.statsOut != "" || o.breakdown
+}
+
+// startProfiling begins CPU profiling and the pprof HTTP listener.
+// Call stopProfiling at exit.
+func (o *obsConfig) startProfiling() error {
+	if o.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", o.pprofAddr)
+	}
+	if o.cpuProfile == "" {
+		return nil
+	}
+	f, err := os.Create(o.cpuProfile)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	o.cpuFile = f
+	return nil
+}
+
+// stopProfiling flushes the CPU profile and writes the heap profile.
+func (o *obsConfig) stopProfiling() error {
+	if o.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := o.cpuFile.Close(); err != nil {
+			return err
+		}
+		o.cpuFile = nil
+	}
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile is stable
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startTelemetry enables the telemetry layer on dev per the flags (after
+// prefill/ResetStats so measurements cover only the measured run) and
+// opens the stats sink. Call finishTelemetry after the run.
+func (o *obsConfig) startTelemetry(dev *cubeftl.SSD) error {
+	if o.killDie >= 0 {
+		if err := dev.KillDie(o.killDie); err != nil {
+			return err
+		}
+		fmt.Printf("chaos: die %d set to fail all programs and erases\n", o.killDie)
+	}
+	if !o.telemetryWanted() {
+		return nil
+	}
+	dev.EnableTelemetry(cubeftl.TelemetryConfig{Trace: o.traceOut != ""})
+	if o.statsOut != "" {
+		f, err := os.Create(o.statsOut)
+		if err != nil {
+			return err
+		}
+		if err := dev.StartStats(f, o.statsInterval); err != nil {
+			f.Close()
+			return err
+		}
+		o.statsFile = f
+	}
+	return nil
+}
+
+// finishTelemetry drains the telemetry sinks: final stats snapshot,
+// Chrome trace file, and the stage-attribution table.
+func (o *obsConfig) finishTelemetry(dev *cubeftl.SSD) error {
+	if o.statsFile != nil {
+		if err := dev.CloseStats(); err != nil {
+			return err
+		}
+		if err := o.statsFile.Close(); err != nil {
+			return err
+		}
+		o.statsFile = nil
+		fmt.Printf("stats: wrote %s (one JSON object per %v of simulated time)\n",
+			o.statsOut, o.statsInterval)
+	}
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := dev.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %s (open in https://ui.perfetto.dev or chrome://tracing)\n", o.traceOut)
+	}
+	if o.breakdown {
+		if table := dev.BreakdownTable(); table != "" {
+			fmt.Printf("\nstage-latency attribution (where the time went):\n%s", table)
+		}
+	}
+	return nil
+}

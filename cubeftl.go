@@ -23,6 +23,7 @@ package cubeftl
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"cubeftl/internal/core"
@@ -31,6 +32,8 @@ import (
 	"cubeftl/internal/nand"
 	"cubeftl/internal/sim"
 	"cubeftl/internal/ssd"
+	"cubeftl/internal/telemetry"
+	"cubeftl/internal/vth"
 	"cubeftl/internal/workload"
 )
 
@@ -115,6 +118,8 @@ type SSD struct {
 	ctrl        *ftl.Controller
 	cube        *core.CubeFTL // non-nil for cube flavors
 	dieAffinity bool
+	hub         *telemetry.Hub     // nil until EnableTelemetry
+	sampler     *telemetry.Sampler // nil until StartStats
 }
 
 // New builds a simulated SSD.
@@ -536,4 +541,139 @@ func (s *SSD) Cube() CubeStats {
 		ORTMisses:        cs.ORTMisses,
 		ORTBytes:         s.cube.ORTBytes(),
 	}
+}
+
+// TelemetryConfig configures the observability layer (DESIGN.md §11).
+// The zero value enables metrics, stage attribution, and the sampler
+// hook but not span/event tracing.
+type TelemetryConfig struct {
+	// Trace collects per-IO spans and device operation events for Chrome
+	// trace_event export (WriteChromeTrace → Perfetto).
+	Trace bool
+	// TraceRing bounds the most-recent-spans ring (default 4096).
+	TraceRing int
+	// TraceReservoir sizes the uniform reservoir kept over spans evicted
+	// from the ring, so long runs retain a representative sample beyond
+	// the tail. Default 4096; negative disables the reservoir.
+	TraceReservoir int
+}
+
+// EnableTelemetry turns on the observability layer: the central metrics
+// registry, per-IO stage-latency attribution, and (optionally) span
+// tracing. Telemetry is passive and keyed to simulated time — enabling
+// it does not change what a run computes (same TraceHash, same stats).
+// Call before driving I/O; enabling mid-run only misses early IOs.
+func (s *SSD) EnableTelemetry(cfg TelemetryConfig) {
+	hub := telemetry.NewHub(s.eng, s.dev.Config().Seed)
+	if cfg.Trace {
+		hub.EnableTracer(telemetry.TracerConfig{
+			RingSize:      cfg.TraceRing,
+			ReservoirSize: cfg.TraceReservoir,
+		})
+	}
+	s.ctrl.SetTelemetry(hub)
+	s.registerFacadeGauges(hub)
+	s.hub = hub
+}
+
+// TelemetryEnabled reports whether EnableTelemetry has been called.
+func (s *SSD) TelemetryEnabled() bool { return s.hub != nil }
+
+// Telemetry returns the underlying hub (nil when telemetry is off) for
+// direct registry/stage access.
+func (s *SSD) Telemetry() *telemetry.Hub { return s.hub }
+
+// registerFacadeGauges exposes the controller's aggregate stats through
+// the registry so JSONL snapshots carry them without reaching into the
+// internal structs.
+func (s *SSD) registerFacadeGauges(hub *telemetry.Hub) {
+	st := s.ctrl.Stats() // stable pointer; ResetStats zeroes in place
+	reg := hub.Registry()
+	reg.RegisterGauge("ftl/write_amp", func() float64 {
+		if st.HostWrites == 0 {
+			return 0
+		}
+		return float64(st.Programs*int64(vth.PagesPerWL)) / float64(st.HostWrites)
+	})
+	for name, src := range map[string]*int64{
+		"ftl/gc/runs":           &st.GCCount,
+		"ftl/gc/page_moves":     &st.GCPageMoves,
+		"ftl/reprograms":        &st.Reprograms,
+		"ftl/buffer_hits":       &st.BufferHits,
+		"ftl/write_rejects":     &st.WriteRejects,
+		"ftl/degraded_dies":     &st.DegradedDies,
+		"ftl/fenced_programs":   &st.FencedPrograms,
+		"nand/read_retries":     &st.ReadRetries,
+		"faults/program_fail":   &st.ProgramFailures,
+		"faults/erase_fail":     &st.EraseFailures,
+		"faults/read_faults":    &st.ReadFaults,
+		"faults/retired_blocks": &st.RetiredBlocks,
+		"faults/recoveries":     &st.FaultRecoveries,
+	} {
+		p := src
+		reg.RegisterGauge(name, func() float64 { return float64(*p) })
+	}
+}
+
+// ErrTelemetryOff reports a telemetry API called before EnableTelemetry.
+var ErrTelemetryOff = errors.New("cubeftl: telemetry not enabled")
+
+// WriteChromeTrace exports the collected spans and device operation
+// events as Chrome trace_event JSON (chrome://tracing, Perfetto).
+// Requires EnableTelemetry with Trace: true.
+func (s *SSD) WriteChromeTrace(w io.Writer) error {
+	if s.hub == nil || s.hub.Tracer() == nil {
+		return fmt.Errorf("%w: need TelemetryConfig.Trace", ErrTelemetryOff)
+	}
+	dies := s.dev.Channels() * s.dev.Config().DiesPerChannel
+	return telemetry.WriteChromeTrace(w, s.hub.Tracer(), s.hub.QueueNames(), dies)
+}
+
+// StartStats begins emitting one JSONL telemetry snapshot to w per
+// interval of simulated time (tenant IOPS/p99s, per-die utilization,
+// registry metrics). Close the returned sampler via CloseStats after
+// the run to flush the final snapshot.
+func (s *SSD) StartStats(w io.Writer, interval time.Duration) error {
+	if s.hub == nil {
+		return ErrTelemetryOff
+	}
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	s.sampler = s.hub.StartSampler(w, int64(interval))
+	return nil
+}
+
+// CloseStats writes the final snapshot and flushes the stats sink.
+func (s *SSD) CloseStats() error {
+	if s.sampler == nil {
+		return ErrTelemetryOff
+	}
+	err := s.sampler.Close()
+	s.sampler = nil
+	return err
+}
+
+// BreakdownTable renders the per-scope stage-latency attribution: for
+// each tenant/op (and each die's reads), where the p50/p99/mean latency
+// was spent — queue wait, plane wait, NAND time, retries, bus. Empty
+// string when telemetry is off or no spans completed.
+func (s *SSD) BreakdownTable() string {
+	if s.hub == nil {
+		return ""
+	}
+	return s.hub.Stages().FormatBreakdown()
+}
+
+// KillDie installs certain-failure fault injection on one die's
+// programs and erases, driving it to degraded read-only mode as soon as
+// its free-block margin runs out — the chaos scenario behind `make
+// trace-demo`. Reads keep working.
+func (s *SSD) KillDie(die int) error {
+	dies := s.dev.Channels() * s.dev.Config().DiesPerChannel
+	if die < 0 || die >= dies {
+		return fmt.Errorf("cubeftl: die %d out of range (have %d)", die, dies)
+	}
+	s.dev.SetChipFaults(die, nand.FaultConfig{ProgramFailRate: 1, EraseFailRate: 1})
+	return nil
 }

@@ -12,6 +12,8 @@ type WriteBuffer struct {
 	entries  map[LPN]*bufEntry
 	queue    []LPN // admission-ordered entries awaiting flush
 	occupied int
+
+	requeueEvents int64 // pages bounced back by failed/fenced programs
 }
 
 type bufEntry struct {
@@ -19,6 +21,7 @@ type bufEntry struct {
 	seq      uint64 // bumped on every overwrite; flushes capture it
 	inflight bool   // currently part of an issued program
 	requeue  bool   // overwritten while in flight; must flush again
+	requeues int    // failed-program requeues survived (telemetry)
 }
 
 // NewWriteBuffer returns a buffer holding up to capacity pages, or an
@@ -78,6 +81,11 @@ func (b *WriteBuffer) Put(lpn LPN) bool {
 type FlushHandle struct {
 	LPN LPN
 	seq uint64
+	// Requeues is how many failed programs already bounced this entry
+	// back to the queue before this issue — a page that survives a
+	// fenced-die or program-status requeue still settles exactly once,
+	// and this counter lets telemetry and tests see the journey.
+	Requeues int
 }
 
 // TakeFlushGroup removes up to max queued entries for one word-line
@@ -92,7 +100,7 @@ func (b *WriteBuffer) TakeFlushGroup(max int) []FlushHandle {
 		lpn := b.queue[i]
 		e := b.entries[lpn]
 		e.inflight = true
-		out = append(out, FlushHandle{LPN: lpn, seq: e.seq})
+		out = append(out, FlushHandle{LPN: lpn, seq: e.seq, Requeues: e.requeues})
 	}
 	b.queue = b.queue[n:]
 	return out
@@ -109,10 +117,16 @@ func (b *WriteBuffer) Requeue(hs []FlushHandle) {
 		}
 		e.inflight = false
 		e.requeue = false
+		e.requeues++
+		b.requeueEvents++
 		head = append(head, h.LPN)
 	}
 	b.queue = append(head, b.queue...)
 }
+
+// RequeueEvents returns how many page-level requeues the buffer has
+// absorbed (fenced dies, program failures, reprogram verdicts).
+func (b *WriteBuffer) RequeueEvents() int64 { return b.requeueEvents }
 
 // Settle resolves one flushed page after its program completed. It
 // reports whether the captured data is still current (the caller should

@@ -8,6 +8,7 @@ import (
 	"cubeftl/internal/nand"
 	"cubeftl/internal/sim"
 	"cubeftl/internal/ssd"
+	"cubeftl/internal/telemetry"
 	"cubeftl/internal/vth"
 )
 
@@ -178,11 +179,23 @@ type Controller struct {
 
 	verify *verifyState // non-nil in VerifyData mode
 	stats  Stats
+
+	// Telemetry (nil/empty when disabled — every hook guards).
+	hub       *telemetry.Hub
+	progHists []*metrics.Hist // per-die successful-program latency
+	reqFenced *telemetry.Counter
+	reqFail   *telemetry.Counter
+	reqReprog *telemetry.Counter
+	reqAlloc  *telemetry.Counter
 }
 
 type pendingWrite struct {
 	lpn  LPN
 	done func()
+
+	// Telemetry: admission-wait attribution for the write's span.
+	pp         *telemetry.PageProbe
+	enqueuedNs sim.Time
 }
 
 // NewController wires a controller over the device with the policy.
@@ -268,6 +281,77 @@ func (c *Controller) ResetStats() {
 		RetiredBlocks:    retired,
 		FactoryBadBlocks: factory,
 		DegradedDies:     dies,
+	}
+	// Per-die program histograms are measurement state too: a registry
+	// that resolves them through closures sees the fresh ones.
+	for i := range c.progHists {
+		c.progHists[i] = metrics.NewHist(0)
+	}
+}
+
+// SetTelemetry attaches a telemetry hub to the datapath: the device
+// emits NAND op events, the controller emits flush/GC/requeue events
+// and per-die program histograms, and the sampler reads per-die state
+// through the controller. Call once, before the measured run; nil
+// detaches. All hooks are passive — the event sequence of a run is
+// identical with telemetry on or off.
+func (c *Controller) SetTelemetry(hub *telemetry.Hub) {
+	c.hub = hub
+	c.dev.SetTelemetry(hub)
+	if hub == nil {
+		c.progHists = nil
+		c.reqFenced, c.reqFail, c.reqReprog, c.reqAlloc = nil, nil, nil, nil
+		return
+	}
+	hub.SetDeviceSource(c)
+	reg := hub.Registry()
+	c.progHists = make([]*metrics.Hist, c.geo.Chips)
+	for i := range c.progHists {
+		c.progHists[i] = metrics.NewHist(0)
+		i := i
+		reg.RegisterHist(fmt.Sprintf("ftl/die/%d/prog_ns", i),
+			func() *metrics.Hist { return c.progHists[i] })
+	}
+	// Host-latency histograms resolve through closures because
+	// ResetStats replaces the Hist values.
+	reg.RegisterHist("ftl/read_ns", func() *metrics.Hist { return c.stats.ReadLat })
+	reg.RegisterHist("ftl/write_ns", func() *metrics.Hist { return c.stats.WriteLat })
+	c.reqFenced = reg.MustCounter("ftl/requeue/fenced")
+	c.reqFail = reg.MustCounter("ftl/requeue/program_fail")
+	c.reqReprog = reg.MustCounter("ftl/requeue/reprogram")
+	c.reqAlloc = reg.MustCounter("ftl/requeue/alloc_fail")
+}
+
+// TelemetryHub returns the attached hub, or nil. The host front end
+// discovers telemetry through the controller it is built over.
+func (c *Controller) TelemetryHub() *telemetry.Hub { return c.hub }
+
+// DieSamples implements telemetry.DeviceSource: per-die utilization,
+// queue depth, channel utilization, and degraded state for the
+// time-series sampler.
+func (c *Controller) DieSamples() []telemetry.DieSample {
+	out := make([]telemetry.DieSample, c.geo.Chips)
+	for i := range out {
+		out[i] = telemetry.DieSample{
+			Die:         i,
+			Utilization: c.dev.DieUtilization(i),
+			QueueDepth:  c.dev.Die(i).QueueDepth(),
+			BusUtil:     c.dev.ChannelUtilization(c.dev.ChannelOf(i)),
+			Degraded:    c.dieDegraded[i],
+		}
+	}
+	return out
+}
+
+// requeueInstant records one flush-group requeue in the trace (an
+// instant on the die's FTL track) and the matching registry counter.
+func (c *Controller) requeueInstant(die int, name string, counter *telemetry.Counter) {
+	if c.hub == nil {
+		return
+	}
+	c.hub.Instant(telemetry.PidFTL, die, name)
+	if counter != nil {
+		counter.Inc(1)
 	}
 }
 
@@ -363,13 +447,14 @@ func (c *Controller) WearSpread() (min, max int) {
 const readFaultRetries = 2
 
 // readWithRetry issues a flash read, transparently re-issuing it after
-// transient read faults before reporting the final outcome.
-func (c *Controller) readWithRetry(chip int, addr nand.Address, params nand.ReadParams, attempt int, done func(res nand.ReadResult, err error)) {
-	c.dev.Read(chip, addr, params, func(res nand.ReadResult, err error) {
+// transient read faults before reporting the final outcome. pp (may be
+// nil) accumulates the read's latency attribution across re-issues.
+func (c *Controller) readWithRetry(chip int, addr nand.Address, params nand.ReadParams, attempt int, pp *telemetry.PageProbe, done func(res nand.ReadResult, err error)) {
+	c.dev.ReadProbed(chip, addr, params, pp, func(res nand.ReadResult, err error) {
 		if err != nil && errors.Is(err, nand.ErrReadFault) {
 			c.stats.ReadFaults++
 			if attempt < readFaultRetries {
-				c.readWithRetry(chip, addr, params, attempt+1, done)
+				c.readWithRetry(chip, addr, params, attempt+1, pp, done)
 				return
 			}
 		} else if err == nil && attempt > 0 {
@@ -380,7 +465,13 @@ func (c *Controller) readWithRetry(chip int, addr nand.Address, params nand.Read
 }
 
 // Read serves a host page read; done runs at completion in simulated time.
-func (c *Controller) Read(lpn LPN, done func()) {
+func (c *Controller) Read(lpn LPN, done func()) { c.ReadTraced(lpn, nil, done) }
+
+// ReadTraced is Read with a latency-attribution probe (nil disables;
+// behavior and timing are identical either way). Buffer hits and
+// unmapped reads charge the buffer stage; mapped reads charge plane
+// wait, sense, retries, and channel stages at the device.
+func (c *Controller) ReadTraced(lpn LPN, pp *telemetry.PageProbe, done func()) {
 	c.stats.HostReads++
 	start := c.eng.Now()
 	finish := func() {
@@ -389,19 +480,27 @@ func (c *Controller) Read(lpn LPN, done func()) {
 	}
 	if c.buf.Contains(lpn) {
 		c.stats.BufferHits++
+		if pp != nil {
+			pp.Buffered = true
+			pp.BufferNs += c.cfg.BufferReadNs
+		}
 		c.eng.After(c.cfg.BufferReadNs, finish)
 		return
 	}
 	ppn := c.mapper.Lookup(lpn)
 	if ppn == ssd.UnmappedPPN {
 		c.stats.UnmappedReads++
+		if pp != nil {
+			pp.Buffered = true
+			pp.BufferNs += c.cfg.BufferReadNs
+		}
 		c.eng.After(c.cfg.BufferReadNs, finish)
 		return
 	}
 	chip, block, layer, wl, page := c.geo.DecodePPN(ppn)
 	params := nand.ReadParams{StartOffset: c.pol.ReadStartOffset(chip, block, layer)}
 	addr := nand.Address{Block: block, Layer: layer, WL: wl, Page: page}
-	c.readWithRetry(chip, addr, params, 0, func(res nand.ReadResult, err error) {
+	c.readWithRetry(chip, addr, params, 0, pp, func(res nand.ReadResult, err error) {
 		c.stats.ReadRetries += int64(res.Retries)
 		if err != nil {
 			// The retry ladder (and any transient-fault re-issues) is
@@ -440,6 +539,14 @@ func (c *Controller) maybeReclaim(chip, block int) {
 // (done never runs) with ErrBadLPN outside the logical capacity or
 // ErrDegraded once the device has dropped to read-only mode.
 func (c *Controller) Write(lpn LPN, done func()) error {
+	return c.WriteTraced(lpn, nil, done)
+}
+
+// WriteTraced is Write with a latency-attribution probe (nil disables).
+// An immediately admitted write charges the buffer stage; one held by
+// backpressure charges the admission wait. The program that later
+// flushes the page is background work, outside the host-visible span.
+func (c *Controller) WriteTraced(lpn LPN, pp *telemetry.PageProbe, done func()) error {
 	if lpn < 0 || int(lpn) >= c.mapper.LogicalPages() {
 		return fmt.Errorf("%w: %d (capacity %d)", ErrBadLPN, lpn, c.mapper.LogicalPages())
 	}
@@ -454,11 +561,15 @@ func (c *Controller) Write(lpn LPN, done func()) error {
 		done()
 	}
 	if c.buf.Put(lpn) {
+		if pp != nil {
+			pp.Buffered = true
+			pp.BufferNs += c.cfg.BufferReadNs
+		}
 		c.eng.After(c.cfg.BufferReadNs, ack) // DMA into buffer
 		c.maybeFlush()
 		return nil
 	}
-	c.pendingWrites = append(c.pendingWrites, pendingWrite{lpn: lpn, done: ack})
+	c.pendingWrites = append(c.pendingWrites, pendingWrite{lpn: lpn, done: ack, pp: pp, enqueuedNs: start})
 	c.maybeFlush()
 	return nil
 }
@@ -471,6 +582,10 @@ func (c *Controller) admitPending() {
 			return
 		}
 		c.pendingWrites = c.pendingWrites[1:]
+		if pw.pp != nil {
+			pw.pp.Buffered = true
+			pw.pp.AdmitWaitNs += c.eng.Now() - pw.enqueuedNs
+		}
 		pw.done()
 	}
 }
@@ -585,6 +700,7 @@ func (c *Controller) flushTo(chip int, group []FlushHandle) {
 	if err != nil {
 		// The die cannot place the group: return the data to the
 		// buffer for another die (or a later retry) and reassess.
+		c.requeueInstant(chip, "requeue_alloc_fail", c.reqAlloc)
 		c.buf.Requeue(group)
 		c.checkDieDegraded(chip)
 		return
@@ -594,6 +710,7 @@ func (c *Controller) flushTo(chip int, group []FlushHandle) {
 	params := c.pol.ProgramParams(chip, block, layer, wl)
 	addr := nand.Address{Block: block, Layer: layer, WL: wl}
 	c.inflight[chip]++
+	issueAt := c.eng.Now()
 	c.dev.Program(chip, addr, c.hostPages(group), params, func(res nand.ProgramResult, err error) {
 		c.inflight[chip]--
 		if errors.Is(err, ssd.ErrDieFenced) {
@@ -602,6 +719,7 @@ func (c *Controller) flushTo(chip int, group []FlushHandle) {
 			// surviving dies can absorb it (or, device-wide, so the
 			// rejection is accounted instead of silently lost).
 			c.stats.FencedPrograms++
+			c.requeueInstant(chip, "requeue_fenced", c.reqFenced)
 			c.buf.Requeue(group)
 			c.maybeFlush()
 			return
@@ -611,6 +729,7 @@ func (c *Controller) flushTo(chip int, group []FlushHandle) {
 			// buffer. Re-issue it at the next allocation and retire the
 			// failed block.
 			c.stats.ProgramFailures++
+			c.requeueInstant(chip, "requeue_program_fail", c.reqFail)
 			c.buf.Requeue(group)
 			c.retireActive(chip, cursor)
 			c.stats.FaultRecoveries++
@@ -620,6 +739,11 @@ func (c *Controller) flushTo(chip int, group []FlushHandle) {
 		}
 		c.stats.Programs++
 		c.stats.ProgramNs += res.LatencyNs
+		if c.hub != nil {
+			c.progHists[chip].Add(res.LatencyNs)
+			c.hub.Event(telemetry.PidFTL, chip, "flush", issueAt, c.eng.Now()-issueAt,
+				map[string]int64{"pages": int64(len(group)), "block": int64(block)})
+		}
 
 		verdict := c.pol.ObserveProgram(chip, block, layer, wl, params, res)
 		if verdict == VerdictReprogram {
@@ -627,6 +751,7 @@ func (c *Controller) flushTo(chip int, group []FlushHandle) {
 			// (its pages are garbage) and rewrite the same data at the
 			// next allocation with fresh monitoring.
 			c.stats.Reprograms++
+			c.requeueInstant(chip, "requeue_reprogram", c.reqReprog)
 			c.buf.Requeue(group)
 		} else {
 			wlIdx := layer*c.geo.WLsPerLayer + wl
@@ -735,6 +860,9 @@ func (c *Controller) markDieDegraded(die int) {
 	}
 	c.dieDegraded[die] = true
 	c.stats.DegradedDies++
+	if c.hub != nil {
+		c.hub.Instant(telemetry.PidFTL, die, "die_degraded")
+	}
 	c.dev.FenceDiePrograms(die)
 	// Abandon the die's write points: the fence refuses every future
 	// grant, so a cursor kept open here would claim word lines the die
@@ -776,6 +904,9 @@ func (c *Controller) checkDeviceDegraded() {
 	c.degraded = true
 	for _, pw := range c.pendingWrites {
 		c.stats.WriteRejects++
+		if pw.pp != nil {
+			pw.pp.AdmitWaitNs += c.eng.Now() - pw.enqueuedNs
+		}
 		pw.done()
 	}
 	c.pendingWrites = nil
@@ -877,7 +1008,7 @@ func (c *Controller) gcReadBatch(chip, victim int, batch []LPN, data [][]byte, i
 	_, _, layer, wl, page := c.geo.DecodePPN(ppn)
 	params := nand.ReadParams{StartOffset: c.pol.ReadStartOffset(chip, victim, layer)}
 	addr := nand.Address{Block: victim, Layer: layer, WL: wl, Page: page}
-	c.readWithRetry(chip, addr, params, 0, func(res nand.ReadResult, err error) {
+	c.readWithRetry(chip, addr, params, 0, nil, func(res nand.ReadResult, err error) {
 		c.stats.ReadRetries += int64(res.Retries)
 		c.pol.ObserveRead(chip, victim, layer, res, err)
 		if err != nil {
@@ -919,6 +1050,7 @@ func (c *Controller) gcWrite(chip, victim int, batch []LPN, data [][]byte, rest 
 	block := cursor.Block
 	params := c.pol.ProgramParams(chip, block, layer, wl)
 	addr := nand.Address{Block: block, Layer: layer, WL: wl}
+	issueAt := c.eng.Now()
 	c.dev.Program(chip, addr, c.gcPages(data), params, func(res nand.ProgramResult, err error) {
 		if errors.Is(err, ssd.ErrDieFenced) {
 			// Defensive: a fence cannot normally race an active GC cycle
@@ -940,9 +1072,15 @@ func (c *Controller) gcWrite(chip, victim int, batch []LPN, data [][]byte, rest 
 		}
 		c.stats.Programs++
 		c.stats.ProgramNs += res.LatencyNs
+		if c.hub != nil {
+			c.progHists[chip].Add(res.LatencyNs)
+			c.hub.Event(telemetry.PidFTL, chip, "gc_write", issueAt, c.eng.Now()-issueAt,
+				map[string]int64{"pages": int64(len(batch)), "victim": int64(victim)})
+		}
 		verdict := c.pol.ObserveProgram(chip, block, layer, wl, params, res)
 		if verdict == VerdictReprogram {
 			c.stats.Reprograms++
+			c.requeueInstant(chip, "requeue_reprogram", c.reqReprog)
 			c.retireIfFull(chip, cursor)
 			// Retry the same batch on the next word line.
 			c.gcWrite(chip, victim, batch, data, rest)

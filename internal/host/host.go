@@ -25,6 +25,7 @@ import (
 	"cubeftl/internal/ftl"
 	"cubeftl/internal/metrics"
 	"cubeftl/internal/sim"
+	"cubeftl/internal/telemetry"
 )
 
 // Typed host-interface errors.
@@ -155,6 +156,7 @@ func (t *TenantStats) IOPS() float64 {
 type sqe struct {
 	cmd    Command
 	submit sim.Time
+	sp     *telemetry.Span // nil when telemetry is off
 }
 
 type queue struct {
@@ -194,8 +196,6 @@ func (q *queue) refillTokens(now sim.Time) {
 	}
 }
 
-const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
-
 // Host is the multi-queue front end over one FTL controller.
 type Host struct {
 	eng    *sim.Engine
@@ -209,10 +209,11 @@ type Host struct {
 	pumping  bool
 	repump   bool
 
-	grants    int64
-	traceHash uint64
-	trace     []int
-	traceCap  int
+	// gt maintains the FNV-1a replay hash and the bounded grant ring;
+	// when the controller carries a telemetry hub, grants also land in
+	// the shared trace event stream.
+	gt  *telemetry.GrantTrace
+	hub *telemetry.Hub // nil when telemetry is off
 
 	dieAffinity bool
 	scratch     []QueueState // reused eligible-set buffer
@@ -233,9 +234,14 @@ func New(ctrl *ftl.Controller, cfg Config) (*Host, error) {
 		eng:         ctrl.Engine(),
 		ctrl:        ctrl,
 		arb:         arb,
-		traceHash:   fnvOffset,
-		traceCap:    cfg.TraceCap,
+		hub:         ctrl.TelemetryHub(),
 		dieAffinity: cfg.DieAffinity,
+	}
+	if h.hub != nil {
+		h.gt = h.hub.NewGrantTrace(cfg.TraceCap)
+		h.hub.SetTenantSource(h)
+	} else {
+		h.gt = telemetry.NewGrantTrace(cfg.TraceCap)
 	}
 	sumDepth := 0
 	for i, qc := range cfg.Queues {
@@ -288,14 +294,14 @@ func (h *Host) Stats(q int) *TenantStats { return h.stats[q] }
 func (h *Host) StatsAll() []*TenantStats { return h.stats }
 
 // Grants returns the total arbitration grants issued.
-func (h *Host) Grants() int64 { return h.grants }
+func (h *Host) Grants() int64 { return h.gt.Grants() }
 
 // TraceHash returns the FNV-1a hash over the full grant sequence —
 // equal hashes mean bit-identical arbitration decisions.
-func (h *Host) TraceHash() uint64 { return h.traceHash }
+func (h *Host) TraceHash() uint64 { return h.gt.Hash() }
 
 // Trace returns the most recent granted queue indices (TraceCap > 0).
-func (h *Host) Trace() []int { return h.trace }
+func (h *Host) Trace() []int { return h.gt.Recent() }
 
 // Outstanding returns commands submitted but not yet completed, across
 // all queues.
@@ -326,7 +332,15 @@ func (h *Host) Submit(qid int, cmd Command) error {
 	}
 	st.Submitted++
 	q.occupancy++
-	q.push(sqe{cmd: cmd, submit: now})
+	e := sqe{cmd: cmd, submit: now}
+	if h.hub != nil {
+		pages := cmd.Pages
+		if pages < 1 {
+			pages = 1
+		}
+		e.sp = h.hub.BeginSpan(q.cfg.Tenant, qid, cmd.Op.String(), cmd.LPN, pages)
+	}
+	q.push(e)
 	h.pump()
 	return nil
 }
@@ -426,13 +440,9 @@ func (h *Host) grant(idx int, now sim.Time) {
 	if wait := now - e.submit; wait > st.MaxHeadWaitNs {
 		st.MaxHeadWaitNs = wait
 	}
-	h.grants++
-	h.traceHash = (h.traceHash ^ uint64(idx+1)) * fnvPrime
-	if h.traceCap > 0 {
-		if len(h.trace) == h.traceCap {
-			h.trace = append(h.trace[:0], h.trace[1:]...)
-		}
-		h.trace = append(h.trace, idx)
+	h.gt.Grant(idx)
+	if e.sp != nil {
+		h.hub.GrantSpan(e.sp)
 	}
 	h.inflight++
 	h.issue(idx, e)
@@ -446,17 +456,28 @@ func (h *Host) issue(qid int, e sqe) {
 		pages = 1
 	}
 	remaining, rejected := pages, 0
-	pageDone := func() {
+	// Of a traced multi-page command, the page completing last is the
+	// critical path; its probe supplies the span's device-side stages.
+	var lastPP *telemetry.PageProbe
+	finish := func(pp *telemetry.PageProbe) {
 		remaining--
+		if pp != nil {
+			lastPP = pp
+		}
 		if remaining == 0 {
-			h.complete(qid, e, rejected)
+			h.complete(qid, e, rejected, lastPP)
 		}
 	}
 	for p := 0; p < pages; p++ {
 		lpn := ftl.LPN(e.cmd.LPN + int64(p))
+		var pp *telemetry.PageProbe
+		if e.sp != nil {
+			pp = &telemetry.PageProbe{Die: -1}
+		}
+		pageDone := func() { finish(pp) }
 		if e.cmd.Op == Read {
-			h.ctrl.Read(lpn, pageDone)
-		} else if err := h.ctrl.Write(lpn, pageDone); err != nil {
+			h.ctrl.ReadTraced(lpn, pp, pageDone)
+		} else if err := h.ctrl.WriteTraced(lpn, pp, pageDone); err != nil {
 			// Degraded (or out-of-range) page: counted and completed
 			// immediately, like a media-error status in the CQE.
 			rejected++
@@ -468,7 +489,7 @@ func (h *Host) issue(qid int, e sqe) {
 
 // complete retires one command: per-tenant accounting, queue slot
 // release, submitter callback, and a dispatch pass for the freed slot.
-func (h *Host) complete(qid int, e sqe, rejectedPages int) {
+func (h *Host) complete(qid int, e sqe, rejectedPages int, pp *telemetry.PageProbe) {
 	now := h.eng.Now()
 	st := h.stats[qid]
 	lat := now - e.submit
@@ -483,6 +504,9 @@ func (h *Host) complete(qid int, e sqe, rejectedPages int) {
 	st.LastDoneNs = now
 	h.queues[qid].occupancy--
 	h.inflight--
+	if e.sp != nil {
+		h.hub.CompleteSpan(e.sp, pp, rejectedPages)
+	}
 	if e.cmd.Done != nil {
 		e.cmd.Done(Completion{
 			SubmitNs:      e.submit,
@@ -511,4 +535,24 @@ func (h *Host) armWake(qid int, now sim.Time) {
 		q.wakeArmed = false
 		h.pump()
 	})
+}
+
+// TenantSamples implements telemetry.TenantSource: a point-in-time
+// snapshot of each queue pair for the time-series sampler.
+func (h *Host) TenantSamples() []telemetry.TenantSample {
+	out := make([]telemetry.TenantSample, len(h.queues))
+	for i, q := range h.queues {
+		st := h.stats[i]
+		out[i] = telemetry.TenantSample{
+			Name:      q.cfg.Tenant,
+			Completed: st.Completed,
+			IOPS:      st.IOPS(),
+			ReadP99:   st.ReadLat.Percentile(99),
+			WriteP99:  st.WriteLat.Percentile(99),
+			QueueLen:  q.pendingLen(),
+			Grants:    st.Grants,
+			Throttles: st.Throttles,
+		}
+	}
+	return out
 }

@@ -1,0 +1,105 @@
+package sim
+
+import "testing"
+
+// The probe fires once per crossed interval boundary, with the boundary
+// time, before the event at the new time runs.
+func TestProbeFiresPerBoundary(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.SetProbe(10, func(at Time) { fired = append(fired, at) })
+	var order []string
+	e.Schedule(5, func() { order = append(order, "ev5") })
+	e.Schedule(25, func() { order = append(order, "ev25") })
+	e.Run()
+
+	want := []Time{10, 20}
+	if len(fired) != len(want) {
+		t.Fatalf("probe fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("probe fired at %v, want %v", fired, want)
+		}
+	}
+	if len(order) != 2 || order[0] != "ev5" || order[1] != "ev25" {
+		t.Errorf("event order = %v", order)
+	}
+}
+
+// An installed probe cannot keep Run alive: it is not an event.
+func TestProbeDoesNotExtendRun(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.SetProbe(1, func(Time) { n++ })
+	e.Schedule(3, func() {})
+	e.Run() // must terminate
+	if e.Now() != 3 {
+		t.Errorf("clock = %d, want 3", e.Now())
+	}
+	if n != 3 {
+		t.Errorf("probe fired %d times, want 3 (at 1, 2, 3)", n)
+	}
+}
+
+// RunUntil fires boundary probes in the tail where the clock jumps to
+// the deadline with no events left.
+func TestProbeFiresOnRunUntilTail(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.SetProbe(10, func(at Time) { fired = append(fired, at) })
+	e.Schedule(5, func() {})
+	e.RunUntil(35)
+	want := []Time{10, 20, 30}
+	if len(fired) != len(want) {
+		t.Fatalf("probe fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("probe fired at %v, want %v", fired, want)
+		}
+	}
+	if e.Now() != 35 {
+		t.Errorf("clock = %d", e.Now())
+	}
+}
+
+// Removing the probe stops firing; reinstalling aligns to the next
+// boundary after the current time.
+func TestProbeRemoveAndReinstall(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.SetProbe(10, func(Time) { n++ })
+	e.Schedule(15, func() {})
+	e.Run()
+	if n != 1 {
+		t.Fatalf("probe fired %d times, want 1", n)
+	}
+	e.SetProbe(0, nil)
+	e.Schedule(45, func() {})
+	e.Run()
+	if n != 1 {
+		t.Fatalf("removed probe fired (n=%d)", n)
+	}
+	var at []Time
+	e.SetProbe(10, func(a Time) { at = append(at, a) })
+	e.Schedule(66, func() {})
+	e.Run()
+	// Reinstalled at now=45: next boundary is 50, then 60.
+	if len(at) != 2 || at[0] != 50 || at[1] != 60 {
+		t.Errorf("reinstalled probe fired at %v, want [50 60]", at)
+	}
+}
+
+// A probe at an exact event timestamp fires before that event (the
+// boundary is crossed when the clock advances to it).
+func TestProbeBeforeCoincidentEvent(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.SetProbe(10, func(at Time) { order = append(order, "probe") })
+	e.Schedule(10, func() { order = append(order, "event") })
+	e.Run()
+	if len(order) != 2 || order[0] != "probe" || order[1] != "event" {
+		t.Errorf("order = %v, want [probe event]", order)
+	}
+}

@@ -53,6 +53,15 @@ type Engine struct {
 	events eventHeap
 	seq    uint64
 	fired  uint64
+
+	// Clock-crossing probe (telemetry sampling). The probe is NOT an
+	// event: it fires as a side effect of the clock advancing past each
+	// interval boundary, before the event at the new time runs. It
+	// therefore cannot extend a run (Run() still terminates when the
+	// calendar drains) or perturb event ordering.
+	probeEvery Time
+	probeNext  Time
+	probeFn    func(at Time)
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -85,6 +94,32 @@ func (e *Engine) After(d Time, fn func()) {
 	e.Schedule(e.now+d, fn)
 }
 
+// SetProbe installs fn to run once per every interval of simulated time
+// the clock crosses, invoked with the boundary time while the clock
+// sits at (or past) it. Passing a nil fn or non-positive every removes
+// the probe. The probe must not schedule events or otherwise mutate
+// simulation state — it exists for passive observation (telemetry
+// snapshots), and because it is not an event it cannot keep a Run()
+// alive or change what a run computes.
+func (e *Engine) SetProbe(every Time, fn func(at Time)) {
+	if fn == nil || every <= 0 {
+		e.probeEvery, e.probeFn = 0, nil
+		return
+	}
+	e.probeEvery = every
+	e.probeFn = fn
+	e.probeNext = (e.now/every + 1) * every
+}
+
+// fireProbe runs the probe for every interval boundary in (prev, now].
+func (e *Engine) fireProbe() {
+	for e.probeFn != nil && e.now >= e.probeNext {
+		at := e.probeNext
+		e.probeNext += e.probeEvery
+		e.probeFn(at)
+	}
+}
+
 // Step fires the next event, advancing the clock. It reports whether an
 // event was available.
 func (e *Engine) Step() bool {
@@ -93,6 +128,9 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.events).(event)
 	e.now = ev.at
+	if e.probeFn != nil {
+		e.fireProbe()
+	}
 	e.fired++
 	ev.fn()
 	return true
@@ -112,6 +150,9 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 	if e.now < deadline {
 		e.now = deadline
+		if e.probeFn != nil {
+			e.fireProbe()
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"cubeftl/internal/nand"
 	"cubeftl/internal/sim"
+	"cubeftl/internal/telemetry"
 	"cubeftl/internal/vth"
 )
 
@@ -149,6 +150,11 @@ type Device struct {
 	array    *nand.Array
 	channels []*sim.Resource
 	dies     []*DieHandle
+
+	// hub, when non-nil, receives NAND operation events (tREAD, tPROG,
+	// tERASE) for trace export. Hooks are passive: they never schedule
+	// events, so enabling telemetry cannot change device behavior.
+	hub *telemetry.Hub
 }
 
 // New builds a device on the given engine.
@@ -263,23 +269,70 @@ func (d *Device) SetChipFaults(die int, cfg nand.FaultConfig) {
 	d.array.SetDieFaults(die, cfg)
 }
 
+// SetTelemetry attaches a telemetry hub; NAND operation events flow to
+// its tracer when tracing is enabled. A nil hub detaches.
+func (d *Device) SetTelemetry(hub *telemetry.Hub) { d.hub = hub }
+
 // Read performs a timed page read: the die is held for the sense (and
 // any retries), then the channel for the data transfer. done receives
 // the NAND result; on an uncorrectable page err is non-nil and the
 // latency in res still reflects the time spent. Reads work on fenced
 // (read-only) dies.
 func (d *Device) Read(die int, a nand.Address, p nand.ReadParams, done func(res nand.ReadResult, err error)) {
+	d.ReadProbed(die, a, p, nil, done)
+}
+
+// ReadProbed is Read with a latency-attribution probe. When pp is
+// non-nil it accumulates where the read's time went: plane wait, the
+// first-attempt sense, retry senses, channel wait, and transfer. A
+// read re-issued after a transient fault charges the whole repeat sense
+// to the retry component. The event sequence is identical with and
+// without a probe.
+func (d *Device) ReadProbed(die int, a nand.Address, p nand.ReadParams, pp *telemetry.PageProbe, done func(res nand.ReadResult, err error)) {
 	dh := d.dies[die]
 	plane := dh.resFor(a.Block)
+	reqAt := d.eng.Now()
 	plane.Acquire(func() {
+		senseAt := d.eng.Now()
 		res, err := dh.NAND.ReadPage(a, p)
+		if pp != nil {
+			pp.Die = die
+			pp.PlaneWaitNs += senseAt - reqAt
+			pp.Retries += res.Retries
+			retryNs := int64(res.Retries) * vth.TReadNs
+			if pp.NANDNs == 0 {
+				pp.NANDNs = res.LatencyNs - retryNs
+				pp.RetryNs += retryNs
+			} else {
+				// A transient-fault re-issue: the whole repeat sense is
+				// recovery time, not first-attempt service.
+				pp.RetryNs += res.LatencyNs
+			}
+		}
 		d.eng.After(res.LatencyNs, func() {
 			plane.Release()
+			if d.hub != nil {
+				var args map[string]int64
+				if res.Retries > 0 {
+					args = map[string]int64{"retries": int64(res.Retries)}
+				}
+				d.hub.Event(telemetry.PidNAND, die, "tREAD", senseAt, res.LatencyNs, args)
+			}
 			if err != nil {
 				done(res, err)
 				return
 			}
-			dh.channel.Hold(vth.TXferPageNs, func() { done(res, nil) })
+			xferReq := d.eng.Now()
+			dh.channel.Acquire(func() {
+				if pp != nil {
+					pp.BusWaitNs += d.eng.Now() - xferReq
+					pp.BusXferNs += vth.TXferPageNs
+				}
+				d.eng.After(vth.TXferPageNs, func() {
+					dh.channel.Release()
+					done(res, nil)
+				})
+			})
 		})
 	})
 }
@@ -309,6 +362,10 @@ func (d *Device) Program(die int, a nand.Address, pages [][]byte, p nand.Program
 				return
 			}
 			res, err := dh.NAND.ProgramWL(a, pages, p)
+			if d.hub != nil && res.LatencyNs > 0 {
+				d.hub.Event(telemetry.PidNAND, die, "tPROG", d.eng.Now(), res.LatencyNs,
+					map[string]int64{"block": int64(a.Block), "loops": int64(res.Loops)})
+			}
 			if err != nil {
 				// A program-status failure is only discovered after the
 				// full ISPP sequence: charge its time before completing.
@@ -336,6 +393,10 @@ func (d *Device) Erase(die, block int, done func(res nand.EraseResult, err error
 	plane := dh.resFor(block)
 	plane.Acquire(func() {
 		res, err := dh.NAND.EraseBlock(block)
+		if d.hub != nil && res.LatencyNs > 0 {
+			d.hub.Event(telemetry.PidNAND, die, "tERASE", d.eng.Now(), res.LatencyNs,
+				map[string]int64{"block": int64(block)})
+		}
 		if err != nil {
 			// Erase failures spend the full erase time before the status
 			// check reports them; validation rejections are instant.

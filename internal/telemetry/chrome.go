@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: the "JSON Array Format" understood by
+// Perfetto and chrome://tracing. Timestamps ("ts") and durations
+// ("dur") are microseconds; we emit fractional microseconds to preserve
+// nanosecond precision. All values are simulated time, so a fixed-seed
+// run exports a byte-identical trace.
+//
+// Track layout:
+//
+//	pid 1 "host"  — tid = submission-queue index; one "X" slice per
+//	                host command (span), nested sub-slices for the
+//	                device portion, instant "i" events for grants.
+//	pid 2 "ftl"   — tid = die index; flush and GC relocation slices,
+//	                instants for requeues and degraded transitions.
+//	pid 3 "nand"  — tid = die index; tREAD / tPROG / tERASE cell ops.
+
+// chromeEvent is one trace_event record. Field order is fixed by the
+// struct, map args are key-sorted by encoding/json: the output is
+// deterministic.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`    // instant scope
+	Args map[string]int64  `json:"args,omitempty"` // numeric args
+	Meta map[string]string `json:"-"`              // metadata args (ph "M")
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace serializes the tracer's spans and events as a Chrome
+// trace_event JSON document. queueNames labels host tids (may be nil);
+// dies labels the FTL/NAND tracks.
+func WriteChromeTrace(w io.Writer, t *Tracer, queueNames []string, dies int) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: tracing was not enabled")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		var b []byte
+		var err error
+		if ev.Meta != nil {
+			// Metadata events carry string args; marshal by hand to keep
+			// one code path per shape.
+			type metaEvent struct {
+				Name string            `json:"name"`
+				Ph   string            `json:"ph"`
+				Ts   float64           `json:"ts"`
+				Pid  int               `json:"pid"`
+				Tid  int               `json:"tid"`
+				Args map[string]string `json:"args"`
+			}
+			b, err = json.Marshal(metaEvent{Name: ev.Name, Ph: ev.Ph, Pid: ev.Pid, Tid: ev.Tid, Args: ev.Meta})
+		} else {
+			b, err = json.Marshal(ev)
+		}
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// Process/thread naming metadata.
+	procs := []struct {
+		pid  int
+		name string
+	}{{PidHost, "host"}, {PidFTL, "ftl"}, {PidNAND, "nand"}}
+	for _, p := range procs {
+		if err := emit(chromeEvent{Name: "process_name", Ph: "M", Pid: p.pid, Tid: 0,
+			Meta: map[string]string{"name": p.name}}); err != nil {
+			return err
+		}
+	}
+	for i, qn := range queueNames {
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: PidHost, Tid: i,
+			Meta: map[string]string{"name": "sq/" + qn}}); err != nil {
+			return err
+		}
+	}
+	for d := 0; d < dies; d++ {
+		label := "die/" + itoa(d)
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: PidFTL, Tid: d,
+			Meta: map[string]string{"name": label}}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: PidNAND, Tid: d,
+			Meta: map[string]string{"name": label}}); err != nil {
+			return err
+		}
+	}
+
+	// Spans: one complete ("X") slice per host command on its queue's
+	// host track, with stage args; a nested queue-wait sub-slice when
+	// the command waited for arbitration.
+	for _, sp := range t.Spans() {
+		dur := usec(sp.TotalNs())
+		args := map[string]int64{
+			"span_id": int64(sp.ID),
+			"lpn":     sp.LPN,
+			"pages":   int64(sp.Pages),
+			"die":     int64(sp.Die),
+		}
+		if sp.Retries > 0 {
+			args["retries"] = int64(sp.Retries)
+		}
+		if sp.RejectedPages > 0 {
+			args["rejected_pages"] = int64(sp.RejectedPages)
+		}
+		for st := Stage(0); st < NumStages; st++ {
+			if ns := sp.Stages[st]; ns > 0 {
+				args["stage_"+StageNames[st]+"_ns"] = ns
+			}
+		}
+		if err := emit(chromeEvent{Name: sp.Op, Ph: "X", Ts: usec(sp.SubmitNs), Dur: &dur,
+			Pid: PidHost, Tid: sp.Queue, Args: args}); err != nil {
+			return err
+		}
+		if q := sp.Stages[StageQueue]; q > 0 {
+			qd := usec(q)
+			if err := emit(chromeEvent{Name: sp.Op + ".queue", Ph: "X", Ts: usec(sp.SubmitNs),
+				Dur: &qd, Pid: PidHost, Tid: sp.Queue}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Device operation events (flush/GC/NAND ops/requeues/degraded).
+	for _, ev := range t.Events() {
+		ce := chromeEvent{Name: ev.Name, Ph: "X", Ts: usec(ev.StartNs),
+			Pid: ev.Pid, Tid: ev.Tid, Args: ev.Args}
+		if ev.DurNs < 0 {
+			ce.Ph = "i"
+			ce.S = "t" // thread-scoped instant
+		} else {
+			d := usec(ev.DurNs)
+			ce.Dur = &d
+		}
+		if err := emit(ce); err != nil {
+			return err
+		}
+	}
+
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

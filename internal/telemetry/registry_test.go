@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"cubeftl/internal/metrics"
+)
+
+func TestRegistryDuplicateNameRejected(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Counter("a/b"); err != nil {
+		t.Fatalf("first Counter: %v", err)
+	}
+	if _, err := r.Counter("a/b"); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("duplicate Counter err = %v, want ErrDuplicateName", err)
+	}
+	// Collisions across metric kinds are rejected too.
+	if err := r.RegisterHist("a/b", func() *metrics.Hist { return nil }); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("Hist over Counter err = %v, want ErrDuplicateName", err)
+	}
+	if err := r.RegisterGauge("a/b", func() float64 { return 0 }); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("Gauge over Counter err = %v, want ErrDuplicateName", err)
+	}
+	if err := r.RegisterGauge("a/c", func() float64 { return 1 }); err != nil {
+		t.Fatalf("fresh Gauge: %v", err)
+	}
+	if err := r.RegisterHist("a/c", func() *metrics.Hist { return nil }); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("Hist over Gauge err = %v, want ErrDuplicateName", err)
+	}
+}
+
+func TestRegistryMustCounterPanicsOnDuplicate(t *testing.T) {
+	r := NewRegistry()
+	r.MustCounter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCounter on duplicate did not panic")
+		}
+	}()
+	r.MustCounter("x")
+}
+
+// A snapshot must be fully detached: mutations after the snapshot do
+// not leak into it.
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("ops")
+	v := 3.0
+	if err := r.RegisterGauge("util", func() float64 { return v }); err != nil {
+		t.Fatal(err)
+	}
+	h := metrics.NewHist(0)
+	h.Add(100)
+	if err := r.RegisterHist("lat", func() *metrics.Hist { return h }); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Inc(10)
+	snap := r.Snapshot()
+	c.Inc(90)
+	v = 7
+	h.Add(900)
+
+	if got := snap.Counters["ops"]; got != 10 {
+		t.Errorf("snapshot counter = %d, want 10", got)
+	}
+	if got := snap.Gauges["util"]; got != 3 {
+		t.Errorf("snapshot gauge = %v, want 3", got)
+	}
+	if got := snap.Hists["lat"].N; got != 1 {
+		t.Errorf("snapshot hist n = %d, want 1", got)
+	}
+	if got := r.Snapshot().Counters["ops"]; got != 100 {
+		t.Errorf("live counter = %d, want 100", got)
+	}
+}
+
+// Snapshots remain consistent while other goroutines register and Inc
+// counters concurrently (run with -race: Counter updates are atomic and
+// the catalog is lock-protected).
+func TestRegistryConcurrentAddAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.MustCounter("g/" + string(rune('a'+g)))
+			for i := 0; i < 200; i++ {
+				c.Inc(1)
+				if i%50 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := len(snap.Counters); got != 8 {
+		t.Fatalf("snapshot counters = %d, want 8", got)
+	}
+	for name, v := range snap.Counters {
+		if v != 200 {
+			t.Errorf("counter %s = %d, want 200", name, v)
+		}
+	}
+}

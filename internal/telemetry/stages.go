@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cubeftl/internal/rng"
+)
+
+// StageVec is one command's end-to-end latency with its per-stage
+// decomposition. Invariant: sum(Stage) == TotalNs (StageOther absorbs
+// the residual at completion time).
+type StageVec struct {
+	TotalNs int64
+	Stage   [NumStages]int64
+}
+
+// StageDist retains (total, stage-vector) samples for one scope
+// (a tenant+op or a die) so percentile selection can return the whole
+// vector of the nearest-rank sample: the reported per-stage breakdown
+// then sums to the reported end-to-end percentile by construction,
+// instead of mixing percentiles of independent marginals (which do not
+// sum to anything meaningful).
+//
+// Up to cap samples are exact; past that Algorithm R reservoir sampling
+// (seed-derived stream) keeps a uniform subset, so memory stays bounded
+// on long runs while percentiles remain representative.
+type StageDist struct {
+	samples []StageVec
+	seen    int64
+	cap     int
+	rng     *rng.Source
+	sorted  bool
+	sums    [NumStages]int64 // exact totals over ALL observations (not just retained)
+	total   int64
+}
+
+// NewStageDist returns a distribution retaining up to capacity exact
+// samples (<=0 selects a default of 1<<16).
+func NewStageDist(capacity int, src *rng.Source) *StageDist {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &StageDist{cap: capacity, rng: src}
+}
+
+// Observe records one command's stage vector.
+func (d *StageDist) Observe(v StageVec) {
+	d.seen++
+	d.total += v.TotalNs
+	for i, s := range v.Stage {
+		d.sums[i] += s
+	}
+	if len(d.samples) < d.cap {
+		d.samples = append(d.samples, v)
+		d.sorted = false
+		return
+	}
+	// Algorithm R: keep each of the first `seen` observations with
+	// probability cap/seen.
+	if j := d.rng.Uint64n(uint64(d.seen)); j < uint64(d.cap) {
+		d.samples[j] = v
+		d.sorted = false
+	}
+}
+
+// N returns the number of observations (not just retained samples).
+func (d *StageDist) N() int64 { return d.seen }
+
+// MeanShare returns each stage's share of total time across ALL
+// observations (exact, not sampled).
+func (d *StageDist) MeanShare() [NumStages]float64 {
+	var out [NumStages]float64
+	if d.total == 0 {
+		return out
+	}
+	for i, s := range d.sums {
+		out[i] = float64(s) / float64(d.total)
+	}
+	return out
+}
+
+// AtPercentile returns the stage vector of the nearest-rank sample at
+// percentile p over retained samples. Its components sum to its TotalNs.
+func (d *StageDist) AtPercentile(p float64) StageVec {
+	n := len(d.samples)
+	if n == 0 {
+		return StageVec{}
+	}
+	if !d.sorted {
+		sort.Slice(d.samples, func(i, j int) bool {
+			return d.samples[i].TotalNs < d.samples[j].TotalNs
+		})
+		d.sorted = true
+	}
+	rank := int(p / 100 * float64(n))
+	if p > 0 {
+		rank = int((p/100)*float64(n) + 0.9999999)
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return d.samples[rank-1]
+}
+
+// StageSet maps scope names ("tenant/db/read", "die/3/read") to their
+// stage distributions. Scopes are created on first observation; each
+// scope's reservoir draws from its own label-derived stream so adding
+// one scope never perturbs another's sampling.
+type StageSet struct {
+	cap    int
+	seed   uint64
+	scopes map[string]*StageDist
+	order  []string
+}
+
+// NewStageSet returns an empty set; capacity per scope (<=0 default).
+func NewStageSet(capacity int, seed uint64) *StageSet {
+	return &StageSet{cap: capacity, seed: seed, scopes: make(map[string]*StageDist)}
+}
+
+// Observe records v under scope, creating the scope on first use.
+func (s *StageSet) Observe(scope string, v StageVec) {
+	d, ok := s.scopes[scope]
+	if !ok {
+		d = NewStageDist(s.cap, newReservoirRNG(s.seed, "stages/"+scope))
+		s.scopes[scope] = d
+		s.order = append(s.order, scope)
+	}
+	d.Observe(v)
+}
+
+// Scope returns the distribution for scope, or nil.
+func (s *StageSet) Scope(scope string) *StageDist { return s.scopes[scope] }
+
+// Scopes returns all scope names, sorted.
+func (s *StageSet) Scopes() []string {
+	out := append([]string(nil), s.order...)
+	sort.Strings(out)
+	return out
+}
+
+// BreakdownLine formats one scope's p-th percentile as
+// "p99 read = 12% queue + 31% plane_wait + 44% nand + 13% retry"
+// (stages under minShare of the total are folded into the largest
+// residual term). The shares are computed from the single nearest-rank
+// sample, so they sum to 100% of the quoted latency within rounding.
+func (d *StageDist) BreakdownLine(p float64) string {
+	v := d.AtPercentile(p)
+	if v.TotalNs == 0 {
+		return "(no samples)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s =", fmtDur(v.TotalNs))
+	first := true
+	for st := Stage(0); st < NumStages; st++ {
+		ns := v.Stage[st]
+		if ns == 0 {
+			continue
+		}
+		pct := float64(ns) * 100 / float64(v.TotalNs)
+		if first {
+			b.WriteByte(' ')
+			first = false
+		} else {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%.0f%% %s", pct, StageNames[st])
+	}
+	if first {
+		b.WriteString(" 100% other")
+	}
+	return b.String()
+}
+
+// FormatBreakdown renders the full attribution table: for each scope,
+// the p50 and p99 stage decompositions plus the exact mean shares.
+func (s *StageSet) FormatBreakdown() string {
+	var b strings.Builder
+	b.WriteString("stage-latency attribution (per-sample vectors; components sum to the quoted latency)\n")
+	for _, scope := range s.Scopes() {
+		d := s.scopes[scope]
+		if d.N() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-22s (n=%d)\n", scope, d.N())
+		fmt.Fprintf(&b, "    p50  %s\n", d.BreakdownLine(50))
+		fmt.Fprintf(&b, "    p99  %s\n", d.BreakdownLine(99))
+		mean := d.MeanShare()
+		b.WriteString("    mean ")
+		first := true
+		for st := Stage(0); st < NumStages; st++ {
+			if mean[st] < 0.005 {
+				continue
+			}
+			if !first {
+				b.WriteString(" + ")
+			}
+			first = false
+			fmt.Fprintf(&b, "%.0f%% %s", mean[st]*100, StageNames[st])
+		}
+		if first {
+			b.WriteString("(empty)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// fmtDur renders nanoseconds as a compact human duration.
+func fmtDur(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1fus", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

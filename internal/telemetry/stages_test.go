@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"cubeftl/internal/rng"
+)
+
+// mkVec builds a stage vector whose components sum to total by
+// construction (queue + nand + residual other).
+func mkVec(total int64) StageVec {
+	v := StageVec{TotalNs: total}
+	v.Stage[StageQueue] = total / 4
+	v.Stage[StageNAND] = total / 2
+	v.Stage[StageOther] = total - v.Stage[StageQueue] - v.Stage[StageNAND]
+	return v
+}
+
+// The headline property of the whole design: the reported percentile
+// breakdown is one retained sample's vector, so its components sum
+// exactly to the quoted end-to-end latency.
+func TestAtPercentileComponentsSumToTotal(t *testing.T) {
+	d := NewStageDist(64, rng.New(1).Derive("t"))
+	src := rng.New(42)
+	for i := 0; i < 500; i++ { // 500 > cap: exercises the reservoir
+		d.Observe(mkVec(int64(1000 + src.Intn(100000))))
+	}
+	for _, p := range []float64{1, 50, 90, 99, 100} {
+		v := d.AtPercentile(p)
+		var sum int64
+		for _, s := range v.Stage {
+			sum += s
+		}
+		if sum != v.TotalNs {
+			t.Errorf("p%v: stage sum %d != total %d", p, sum, v.TotalNs)
+		}
+		if v.TotalNs == 0 {
+			t.Errorf("p%v: empty sample from non-empty dist", p)
+		}
+	}
+}
+
+func TestAtPercentileNearestRankOrdering(t *testing.T) {
+	d := NewStageDist(100, rng.New(1).Derive("t"))
+	for i := 1; i <= 100; i++ {
+		d.Observe(mkVec(int64(i * 1000)))
+	}
+	if got := d.AtPercentile(50).TotalNs; got != 50_000 {
+		t.Errorf("p50 = %d, want 50000", got)
+	}
+	if got := d.AtPercentile(99).TotalNs; got != 99_000 {
+		t.Errorf("p99 = %d, want 99000", got)
+	}
+	if got := d.AtPercentile(100).TotalNs; got != 100_000 {
+		t.Errorf("p100 = %d, want 100000", got)
+	}
+	if got := d.AtPercentile(1).TotalNs; got != 1000 {
+		t.Errorf("p1 = %d, want 1000", got)
+	}
+}
+
+// MeanShare is exact over every observation, including those the
+// reservoir dropped.
+func TestMeanShareExactAcrossReservoir(t *testing.T) {
+	d := NewStageDist(8, rng.New(9).Derive("t"))
+	for i := 0; i < 1000; i++ {
+		d.Observe(mkVec(4000)) // queue 1000, nand 2000, other 1000
+	}
+	if d.N() != 1000 {
+		t.Fatalf("N = %d", d.N())
+	}
+	share := d.MeanShare()
+	if share[StageQueue] != 0.25 || share[StageNAND] != 0.5 || share[StageOther] != 0.25 {
+		t.Errorf("MeanShare = %v", share)
+	}
+}
+
+// Same seed, same observations → identical retained samples: the
+// reservoir draws from a deterministic derived stream.
+func TestStageDistDeterministic(t *testing.T) {
+	build := func() *StageDist {
+		d := NewStageDist(16, newReservoirRNG(7, "stages/x"))
+		src := rng.New(3)
+		for i := 0; i < 400; i++ {
+			d.Observe(mkVec(int64(1 + src.Intn(1 << 20))))
+		}
+		return d
+	}
+	a, b := build(), build()
+	for _, p := range []float64{10, 50, 99} {
+		if a.AtPercentile(p) != b.AtPercentile(p) {
+			t.Fatalf("p%v differs across identical builds", p)
+		}
+	}
+}
+
+// Scopes are isolated streams: interleaving observations into a second
+// scope does not change what the first one retains.
+func TestStageSetScopeIsolation(t *testing.T) {
+	src := rng.New(3)
+	vals := make([]int64, 400)
+	for i := range vals {
+		vals[i] = int64(1 + src.Intn(1 << 20))
+	}
+	solo := NewStageSet(16, 7)
+	for _, v := range vals {
+		solo.Observe("a", mkVec(v))
+	}
+	mixed := NewStageSet(16, 7)
+	for i, v := range vals {
+		mixed.Observe("a", mkVec(v))
+		if i%3 == 0 {
+			mixed.Observe("b", mkVec(v/2+1))
+		}
+	}
+	for _, p := range []float64{50, 99} {
+		if solo.Scope("a").AtPercentile(p) != mixed.Scope("a").AtPercentile(p) {
+			t.Fatalf("scope a perturbed by scope b at p%v", p)
+		}
+	}
+}
+
+func TestFormatBreakdown(t *testing.T) {
+	s := NewStageSet(0, 1)
+	s.Observe("tenant/db/read", mkVec(100_000))
+	out := s.FormatBreakdown()
+	for _, want := range []string{"tenant/db/read", "p50", "p99", "mean", "queue", "nand"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import "cubeftl/internal/rng"
+
+// TracerConfig sizes the span/event retention.
+type TracerConfig struct {
+	// RingSize is the bounded ring of most-recent spans (default 4096).
+	RingSize int
+	// ReservoirSize uniformly samples spans beyond the ring via
+	// Algorithm R over the spans that fall out of the ring (default
+	// 4096; 0 keeps the default, negative disables the reservoir).
+	ReservoirSize int
+	// EventCap bounds the operation-event buffer (default 1<<18); when
+	// full, further events are dropped (counted in DroppedEvents).
+	EventCap int
+	// Seed derives the reservoir's RNG stream; the hub fills it in.
+	Seed uint64
+}
+
+// Tracer collects completed spans (bounded ring + reservoir of evicted
+// spans) and device operation events for Chrome trace export. It never
+// schedules simulation events; it only records.
+type Tracer struct {
+	ring     []Span
+	ringCap  int
+	ringHead int // next write slot
+	ringN    int
+
+	res     []Span
+	resCap  int
+	evicted int64 // spans that fell out of the ring (reservoir population)
+	rng     *rng.Source
+
+	events        []OpEvent
+	eventCap      int
+	droppedEvents int64
+
+	spansSeen int64
+}
+
+// NewTracer returns a tracer with the given retention config.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 4096
+	}
+	if cfg.ReservoirSize == 0 {
+		cfg.ReservoirSize = 4096
+	}
+	if cfg.EventCap <= 0 {
+		cfg.EventCap = 1 << 18
+	}
+	t := &Tracer{
+		ring:     make([]Span, cfg.RingSize),
+		ringCap:  cfg.RingSize,
+		eventCap: cfg.EventCap,
+		rng:      newReservoirRNG(cfg.Seed, "span-reservoir"),
+	}
+	if cfg.ReservoirSize > 0 {
+		t.resCap = cfg.ReservoirSize
+		t.res = make([]Span, 0, cfg.ReservoirSize)
+	}
+	return t
+}
+
+// AddSpan records a completed span. The span enters the ring; the span
+// it evicts (once the ring is full) becomes a candidate for the
+// reservoir, so between them the tracer holds the most recent RingSize
+// spans plus a uniform sample of all older ones.
+func (t *Tracer) AddSpan(sp Span) {
+	t.spansSeen++
+	if t.ringN < t.ringCap {
+		t.ring[t.ringHead] = sp
+		t.ringHead = (t.ringHead + 1) % t.ringCap
+		t.ringN++
+		return
+	}
+	old := t.ring[t.ringHead]
+	t.ring[t.ringHead] = sp
+	t.ringHead = (t.ringHead + 1) % t.ringCap
+	t.reservoirOffer(old)
+}
+
+func (t *Tracer) reservoirOffer(sp Span) {
+	if t.resCap <= 0 {
+		return
+	}
+	t.evicted++
+	if len(t.res) < t.resCap {
+		t.res = append(t.res, sp)
+		return
+	}
+	if j := t.rng.Uint64n(uint64(t.evicted)); j < uint64(t.resCap) {
+		t.res[j] = sp
+	}
+}
+
+// AddEvent records one operation event, dropping (and counting) once
+// the buffer is full.
+func (t *Tracer) AddEvent(ev OpEvent) {
+	if len(t.events) >= t.eventCap {
+		t.droppedEvents++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// SpansSeen returns the total number of spans recorded.
+func (t *Tracer) SpansSeen() int64 { return t.spansSeen }
+
+// DroppedEvents returns how many operation events were discarded after
+// the event buffer filled.
+func (t *Tracer) DroppedEvents() int64 { return t.droppedEvents }
+
+// Spans returns every retained span (reservoir sample of old spans
+// followed by the ring's contents), ordered by span ID so export order
+// is deterministic and roughly chronological.
+func (t *Tracer) Spans() []Span {
+	out := make([]Span, 0, len(t.res)+t.ringN)
+	out = append(out, t.res...)
+	if t.ringN < t.ringCap {
+		out = append(out, t.ring[:t.ringN]...)
+	} else {
+		out = append(out, t.ring[t.ringHead:]...)
+		out = append(out, t.ring[:t.ringHead]...)
+	}
+	sortSpans(out)
+	return out
+}
+
+// Events returns the recorded operation events (already in record
+// order, which is simulated-time order for a deterministic engine).
+func (t *Tracer) Events() []OpEvent { return t.events }
+
+// sortSpans orders by span ID (insertion sort is fine for export-time
+// use; the reservoir portion is nearly sorted already).
+func sortSpans(s []Span) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].ID < s[j-1].ID; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
