@@ -2,7 +2,7 @@
 # long tests hide behind -short here; `make soak` runs them in full.
 GO ?= go
 
-.PHONY: tier1 build vet test race race-core bench-scale bench-telemetry trace-demo soak figures demo clean
+.PHONY: tier1 build vet test race race-core bench-scale bench-telemetry bench-json trace-demo soak figures demo clean
 
 tier1: build vet race race-core
 
@@ -21,9 +21,10 @@ race:
 
 # Full (non-short) race run over the concurrency-sensitive core: the
 # event engine, the FTL (per-die degraded transitions), the multi-queue
-# host front end, and the telemetry registry/tracer.
+# host front end, the crash-consistency subsystem (power-cut sweep),
+# and the telemetry registry/tracer.
 race-core:
-	$(GO) test -race ./internal/sim ./internal/ftl ./internal/host ./internal/telemetry
+	$(GO) test -race ./internal/sim ./internal/ftl ./internal/host ./internal/recovery ./internal/telemetry
 
 # Multi-die scaling gate: fails if a 2x4 backend delivers less than
 # 1.5x the single-die Mixed IOPS (or if same-seed replay diverges).
@@ -35,6 +36,12 @@ bench-scale:
 # <2% overhead contract in EXPERIMENTS.md is measured against.
 bench-telemetry:
 	$(GO) test -run xxx -bench 'BenchmarkMixedTelemetry' -benchtime 5x -count 3 .
+
+# Machine-readable benchmark snapshot: runs the scale and telemetry
+# scenarios and writes BENCH_core.json (IOPS, p50/p99, wall time, seed,
+# git rev) so the perf trajectory is tracked across commits.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_core.json
 
 # Chaos trace demo: kill die 3 mid-run and capture the full observability
 # bundle — Chrome trace (open in https://ui.perfetto.dev), stats JSONL,

@@ -1,0 +1,178 @@
+// Command benchjson runs the core benchmark scenarios — the multi-die
+// scaling pair behind `make bench-scale` and the telemetry-overhead
+// pair behind `make bench-telemetry` — and writes one machine-readable
+// BENCH_core.json so the performance trajectory is tracked across
+// commits. `make bench-json` runs exactly this.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"cubeftl"
+	"cubeftl/internal/experiment"
+	"cubeftl/internal/workload"
+)
+
+// BenchResult is one scenario's measurement. Latencies are simulated
+// nanoseconds; WallMs is real time spent running the scenario.
+type BenchResult struct {
+	Name       string  `json:"name"`
+	Requests   int64   `json:"requests"`
+	IOPS       float64 `json:"iops"`
+	ReadP50Ns  int64   `json:"read_p50_ns"`
+	ReadP99Ns  int64   `json:"read_p99_ns"`
+	WriteP50Ns int64   `json:"write_p50_ns"`
+	WriteP99Ns int64   `json:"write_p99_ns"`
+	SimNs      int64   `json:"sim_elapsed_ns"`
+	WallMs     float64 `json:"wall_ms"`
+}
+
+// BenchReport is the BENCH_core.json document.
+type BenchReport struct {
+	GeneratedUnix int64  `json:"generated_unix"`
+	GitRev        string `json:"git_rev"`
+	GoVersion     string `json:"go_version"`
+	Seed          uint64 `json:"seed"`
+
+	Benches []BenchResult `json:"benches"`
+
+	// ScaleSpeedup2x4 is the 2x4 over 1x1 Mixed IOPS ratio (the
+	// bench-scale gate expects >= 1.5). TelemetryOverheadPct is the
+	// simulated-elapsed cost of full telemetry over the identical run
+	// with telemetry off (the EXPERIMENTS.md contract expects < 2%).
+	ScaleSpeedup2x4      float64 `json:"scale_speedup_2x4"`
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+}
+
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// runScale is one leg of the bench-scale pair: Mixed on cubeFTL at the
+// given topology.
+func runScale(name string, channels, dies, requests int, seed uint64) BenchResult {
+	o := experiment.DefaultSSDOpts()
+	o.Requests = requests
+	o.Seed = seed
+	o.Channels, o.DiesPerChannel = channels, dies
+	start := time.Now()
+	out := experiment.RunWorkload(experiment.PolicyCube, workload.Mixed, o)
+	wall := time.Since(start)
+	r := out.Result
+	return BenchResult{
+		Name:       name,
+		Requests:   r.Requests,
+		IOPS:       r.IOPS(),
+		ReadP50Ns:  r.ReadLat.Percentile(50),
+		ReadP99Ns:  r.ReadLat.Percentile(99),
+		WriteP50Ns: r.WriteLat.Percentile(50),
+		WriteP99Ns: r.WriteLat.Percentile(99),
+		SimNs:      int64(r.ElapsedNs),
+		WallMs:     float64(wall.Microseconds()) / 1000,
+	}
+}
+
+// runTelemetry is one leg of the bench-telemetry pair: Mixed through
+// the facade with the observability layer fully off or fully on
+// (tracer + stage attribution + 1 ms sampling to a discard sink).
+func runTelemetry(name string, enable bool, requests int, seed uint64) (BenchResult, error) {
+	dev, err := cubeftl.New(cubeftl.Options{FTL: cubeftl.FTLCube, BlocksPerChip: 32, Seed: seed})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	dev.Prefill(int64(dev.LogicalPages()) * 6 / 10)
+	dev.ResetStats()
+	if enable {
+		dev.EnableTelemetry(cubeftl.TelemetryConfig{Trace: true})
+		if err := dev.StartStats(io.Discard, time.Millisecond); err != nil {
+			return BenchResult{}, err
+		}
+	}
+	start := time.Now()
+	st, err := dev.RunWorkload("Mixed", requests, 24)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	wall := time.Since(start)
+	if enable {
+		if err := dev.CloseStats(); err != nil {
+			return BenchResult{}, err
+		}
+	}
+	return BenchResult{
+		Name:       name,
+		Requests:   st.Requests,
+		IOPS:       st.IOPS,
+		ReadP50Ns:  int64(st.ReadP50),
+		ReadP99Ns:  int64(st.ReadP99),
+		WriteP50Ns: int64(st.WriteP50),
+		WriteP99Ns: int64(st.WriteP99),
+		SimNs:      int64(st.Elapsed),
+		WallMs:     float64(wall.Microseconds()) / 1000,
+	}, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "output path for the JSON report")
+	requests := flag.Int("requests", 4000, "host requests per scenario")
+	seed := flag.Uint64("seed", 1, "random seed shared by every scenario")
+	flag.Parse()
+
+	rep := BenchReport{
+		GeneratedUnix: time.Now().Unix(),
+		GitRev:        gitRev(),
+		GoVersion:     runtime.Version(),
+		Seed:          *seed,
+	}
+
+	single := runScale("scale-mixed-1x1", 1, 1, *requests, *seed)
+	array := runScale("scale-mixed-2x4", 2, 4, *requests, *seed)
+	rep.Benches = append(rep.Benches, single, array)
+	if single.IOPS > 0 {
+		rep.ScaleSpeedup2x4 = array.IOPS / single.IOPS
+	}
+
+	off, err := runTelemetry("telemetry-off-mixed", false, *requests, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	on, err := runTelemetry("telemetry-on-mixed", true, *requests, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep.Benches = append(rep.Benches, off, on)
+	if off.SimNs > 0 {
+		rep.TelemetryOverheadPct = 100 * (float64(on.SimNs) - float64(off.SimNs)) / float64(off.SimNs)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d scenarios (rev %s, seed %d): 2x4 speedup %.2fx, telemetry overhead %.2f%%\n",
+		*out, len(rep.Benches), rep.GitRev, rep.Seed, rep.ScaleSpeedup2x4, rep.TelemetryOverheadPct)
+	for _, b := range rep.Benches {
+		fmt.Printf("  %-22s %8.0f IOPS  rp99 %8dns  wp99 %8dns  wall %7.1fms\n",
+			b.Name, b.IOPS, b.ReadP99Ns, b.WriteP99Ns, b.WallMs)
+	}
+}

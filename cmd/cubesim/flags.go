@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"cubeftl"
 )
@@ -16,6 +17,60 @@ func validateTopology(channels, dies int) error {
 	}
 	if dies <= 0 {
 		return fmt.Errorf("cubesim: -dies must be positive, got %d", dies)
+	}
+	return nil
+}
+
+// powercutMode is how -powercut picks the cut instant.
+type powercutMode int
+
+const (
+	pcOff    powercutMode = iota // no power cut
+	pcAt                         // cut a fixed simulated duration into the run
+	pcRandom                     // cut at a seed-derived random point in the run
+)
+
+// powercutSpec is the parsed -powercut flag.
+type powercutSpec struct {
+	mode powercutMode
+	at   time.Duration // pcAt: offset into the measured run
+}
+
+// parsePowercut parses the -powercut spec: empty (off), "random" (a
+// seed-derived cut point inside the run), or a positive simulated
+// duration into the run such as "5ms".
+func parsePowercut(spec string) (powercutSpec, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return powercutSpec{mode: pcOff}, nil
+	}
+	if spec == "random" {
+		return powercutSpec{mode: pcRandom}, nil
+	}
+	d, err := time.ParseDuration(spec)
+	if err != nil {
+		return powercutSpec{}, fmt.Errorf("cubesim: -powercut: %q is neither \"random\" nor a duration: %v", spec, err)
+	}
+	if d <= 0 {
+		return powercutSpec{}, fmt.Errorf("cubesim: -powercut must be a positive duration, got %v", d)
+	}
+	return powercutSpec{mode: pcAt, at: d}, nil
+}
+
+// validateRecoveryFlags rejects flag combinations the power-cut path
+// does not support: the cut drives a single synthetic workload stream,
+// so multi-tenant mode, trace replay, and trace recording are out.
+func validateRecoveryFlags(pc powercutSpec, queues, tracePath, record string) error {
+	if pc.mode == pcOff {
+		return nil
+	}
+	switch {
+	case queues != "":
+		return fmt.Errorf("cubesim: -powercut does not combine with -queues (single-stream only)")
+	case tracePath != "":
+		return fmt.Errorf("cubesim: -powercut does not combine with -trace (synthetic workloads only)")
+	case record != "":
+		return fmt.Errorf("cubesim: -powercut does not combine with -record")
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestValidateTopology(t *testing.T) {
@@ -91,5 +92,54 @@ func TestSplitListErrorsNameFlagAndCount(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "-rate") || !strings.Contains(err.Error(), "abc") {
 		t.Errorf("bad-value error %q lacks flag name or offending token", err)
+	}
+}
+
+func TestParsePowercut(t *testing.T) {
+	pc, err := parsePowercut("")
+	if err != nil || pc.mode != pcOff {
+		t.Fatalf("empty spec = %+v, %v", pc, err)
+	}
+	pc, err = parsePowercut("random")
+	if err != nil || pc.mode != pcRandom {
+		t.Fatalf("random spec = %+v, %v", pc, err)
+	}
+	pc, err = parsePowercut(" 5ms ")
+	if err != nil || pc.mode != pcAt || pc.at != 5*time.Millisecond {
+		t.Fatalf("duration spec = %+v, %v", pc, err)
+	}
+	for _, bad := range []string{"soon", "5", "-2ms", "0s"} {
+		if _, err := parsePowercut(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		} else if !strings.Contains(err.Error(), "-powercut") {
+			t.Errorf("spec %q error %q does not name -powercut", bad, err)
+		}
+	}
+}
+
+func TestValidateRecoveryFlags(t *testing.T) {
+	cut := powercutSpec{mode: pcAt, at: time.Millisecond}
+	if err := validateRecoveryFlags(cut, "", "", ""); err != nil {
+		t.Fatalf("plain power cut rejected: %v", err)
+	}
+	// Without a cut, any combination passes (the flags are inert).
+	if err := validateRecoveryFlags(powercutSpec{}, "db=OLTP", "t.trace", "out"); err != nil {
+		t.Fatalf("inert flags rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		queues, trace, record string
+		wantFlag              string
+	}{
+		{"db=OLTP", "", "", "-queues"},
+		{"", "run.trace", "", "-trace"},
+		{"", "", "out.trace", "-record"},
+	} {
+		err := validateRecoveryFlags(cut, tc.queues, tc.trace, tc.record)
+		if err == nil {
+			t.Fatalf("combo %+v accepted", tc)
+		}
+		if !strings.Contains(err.Error(), tc.wantFlag) {
+			t.Errorf("combo error %q does not name %s", err, tc.wantFlag)
+		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"cubeftl"
+	"cubeftl/internal/rng"
 )
 
 func main() {
@@ -49,6 +50,9 @@ func main() {
 	rate := flag.String("rate", "", "per-tenant IOPS caps, comma-separated; 0 = unlimited (e.g. '0,20000')")
 	prios := flag.String("prios", "", "per-tenant strict-priority classes, comma-separated; higher = more urgent")
 	width := flag.Int("width", 32, "device dispatch width shared by all tenant queues (multi-tenant mode)")
+	powercut := flag.String("powercut", "", "crash test: cut power mid-run at a simulated duration into the run (e.g. 5ms) or at a seed-derived 'random' point, then recover by remounting")
+	ckptInterval := flag.Duration("ckpt-interval", 0, "recovery checkpoint cadence in simulated time (0 = 20ms default, negative disables periodic checkpoints; effective with -powercut)")
+	verifyMount := flag.Bool("verify-mount", true, "after a -powercut remount, run the full-device consistency verifier (zero lost acked writes)")
 	obs := obsConfig{}
 	flag.StringVar(&obs.traceOut, "trace-out", "", "write a Chrome trace_event JSON file of the run (open in Perfetto)")
 	flag.StringVar(&obs.statsOut, "stats-out", "", "write periodic JSONL telemetry snapshots to this file")
@@ -61,6 +65,15 @@ func main() {
 	flag.Parse()
 
 	if err := validateTopology(*channels, *dies); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pc, err := parsePowercut(*powercut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := validateRecoveryFlags(pc, *queues, *tracePath, *record); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -86,6 +99,8 @@ func main() {
 		EraseFailRate:   *efail,
 		ReadFaultRate:   *rfault,
 		FactoryBadRate:  *badblocks,
+		Recovery:        pc.mode != pcOff,
+		CkptInterval:    *ckptInterval,
 	}
 	dev, err := cubeftl.New(opts)
 	if err != nil {
@@ -116,6 +131,20 @@ func main() {
 			fmt.Printf("prefill stopped early: %d/%d pages (device degraded)\n", written, n)
 		}
 		dev.ResetStats()
+	}
+
+	if pc.mode != pcOff {
+		// Crash test: telemetry and the hub do not survive a remount, so
+		// the power-cut path runs without the observability layer.
+		var prefillPages int64
+		if *prefill {
+			prefillPages = int64(dev.LogicalPages()) * 6 / 10
+		}
+		if err := runPowerCut(dev, opts, *wl, *requests, *qd, prefillPages, pc, *verifyMount, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if err := obs.startTelemetry(dev); err != nil {
@@ -179,6 +208,63 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runPowerCut drives the named workload to the cut instant, kills the
+// device mid-flight, remounts from the durable state, and reports the
+// recovery. "random" mode first measures the full run on an identical
+// probe device (same options and seed, so bit-identical timing) and
+// cuts at a seed-derived point within it.
+func runPowerCut(dev *cubeftl.SSD, opts cubeftl.Options, wl string, requests, qd int, prefillPages int64, pc powercutSpec, verify bool, seed uint64) error {
+	offset := pc.at
+	if pc.mode == pcRandom {
+		probe, err := cubeftl.New(opts)
+		if err != nil {
+			return err
+		}
+		if prefillPages > 0 {
+			probe.Prefill(prefillPages)
+			probe.ResetStats()
+		}
+		full, err := probe.RunWorkload(wl, requests, qd)
+		if err != nil {
+			return err
+		}
+		// Uniform in [5%, 95%] of the measured run: never so early that
+		// nothing happened, never after the workload finished.
+		pct := 5 + rng.New(seed^0x51EE9).Intn(91)
+		offset = full.Elapsed * time.Duration(pct) / 100
+		fmt.Printf("powercut: random cut %v into a %v run (%d%%)\n", offset, full.Elapsed, pct)
+	}
+	cut := dev.Now() + offset
+	st, err := dev.RunWorkloadUntil(wl, requests, qd, cut)
+	if err != nil {
+		return err
+	}
+	acked := dev.AckedWrites()
+	if err := dev.PowerCut(); err != nil {
+		return err
+	}
+	fmt.Printf("\nPOWER CUT at %v: %d/%d requests completed, %d logical pages durably acked\n",
+		time.Duration(cut), st.Requests, requests, acked)
+	rpt, err := dev.Remount(verify, false)
+	if err != nil {
+		return err
+	}
+	src := "full OOB scan"
+	if rpt.UsedCheckpoint {
+		src = fmt.Sprintf("checkpoint (%v old) + %d journal records", rpt.CheckpointAge, rpt.JournalRecords)
+	}
+	fmt.Printf("remounted in %v simulated from %s\n", rpt.MountTime, src)
+	fmt.Printf("  journal torn: %v\n", rpt.JournalTorn)
+	fmt.Printf("  %d blocks probed, %d found outside durable state, %d OOB pages scanned\n",
+		rpt.BlocksProbed, rpt.DiscoveredBlocks, rpt.OOBPagesScanned)
+	fmt.Printf("  %d mappings recovered (%d by OOB roll-forward), %d evacuations\n",
+		rpt.MappingsRecovered, rpt.RollForwardWins, rpt.EvacuationsQueued)
+	if verify {
+		fmt.Println("  verification PASSED: consistent L2P/OOB, zero lost acked writes")
+	}
+	return nil
 }
 
 // runMultiTenant drives the comma-separated tenant streams through the

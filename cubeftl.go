@@ -30,6 +30,7 @@ import (
 	"cubeftl/internal/ftl"
 	"cubeftl/internal/host"
 	"cubeftl/internal/nand"
+	"cubeftl/internal/recovery"
 	"cubeftl/internal/sim"
 	"cubeftl/internal/ssd"
 	"cubeftl/internal/telemetry"
@@ -95,6 +96,16 @@ type Options struct {
 	EraseFailRate   float64 // erase failure per block erase (grows a bad block)
 	ReadFaultRate   float64 // transient fault per page read (re-issued)
 	FactoryBadRate  float64 // fraction of blocks factory-marked bad at boot
+
+	// Recovery enables the crash-consistency subsystem (DESIGN.md §12):
+	// a checkpointed and journaled system area, durable-ack semantics
+	// (host write acknowledgments wait for the write's mapping record
+	// to be durable), and the PowerCut/Remount cycle.
+	Recovery bool
+	// CkptInterval is the periodic checkpoint cadence in simulated time
+	// (0 selects the 20ms default; negative disables periodic
+	// checkpoints). Meaningful only with Recovery.
+	CkptInterval time.Duration
 }
 
 // DefaultOptions returns the paper's full evaluation device (2 buses x
@@ -120,6 +131,16 @@ type SSD struct {
 	dieAffinity bool
 	hub         *telemetry.Hub     // nil until EnableTelemetry
 	sampler     *telemetry.Sampler // nil until StartStats
+
+	// Crash-consistency state (Options.Recovery). opts and ctrlCfg are
+	// retained so Remount can rebuild the volatile half of the device;
+	// outstanding counts facade-issued host ops not yet completed (Run's
+	// stop condition — the manager's checkpoint timer keeps the event
+	// queue non-empty forever, so Run cannot wait for queue drain).
+	mgr         *recovery.Manager
+	opts        Options
+	ctrlCfg     ftl.ControllerConfig
+	outstanding int
 }
 
 // New builds a simulated SSD.
@@ -166,25 +187,9 @@ func New(opts Options) (*SSD, error) {
 		dev.SetReadJitterProb(0.5)
 	}
 
-	var pol ftl.Policy
-	var cube *core.CubeFTL
-	switch opts.FTL {
-	case FTLPage:
-		pol = ftl.NewPagePolicy()
-	case FTLVert:
-		pol = ftl.NewVertPolicy()
-	case FTLIsp:
-		pol = ftl.NewIspPolicy(func(chip, block int) int {
-			return dev.Chip(chip).NAND.PECycles(block)
-		})
-	case FTLCube:
-		cube = core.New(dev.Geometry())
-		pol = cube
-	case FTLCubeMinus:
-		cube = core.NewMinus(dev.Geometry())
-		pol = cube
-	default:
-		return nil, fmt.Errorf("cubeftl: unknown FTL %q", opts.FTL)
+	pol, cube, err := newPolicy(opts.FTL, dev)
+	if err != nil {
+		return nil, err
 	}
 	ctrlCfg := ftl.DefaultControllerConfig()
 	if opts.WriteBufferPages > 0 {
@@ -192,13 +197,47 @@ func New(opts Options) (*SSD, error) {
 	}
 	ctrlCfg.WearAware = opts.WearAware
 	ctrlCfg.VerifyData = opts.VerifyData
-	return &SSD{
+	ctrlCfg.DurableAcks = opts.Recovery
+	s := &SSD{
 		eng:         eng,
 		dev:         dev,
 		ctrl:        ftl.NewController(dev, pol, ctrlCfg),
 		cube:        cube,
 		dieAffinity: opts.DieAffinity,
-	}, nil
+		opts:        opts,
+		ctrlCfg:     ctrlCfg,
+	}
+	if opts.Recovery {
+		s.mgr = recovery.Attach(s.ctrl, recovery.NewSystemArea(), recovery.Options{
+			CkptIntervalNs: sim.Time(opts.CkptInterval),
+			Ledger:         recovery.NewLedger(),
+		})
+	}
+	return s, nil
+}
+
+// newPolicy builds the named FTL policy against dev (cube is non-nil
+// for the cube flavors). Shared by New and Remount: a recovery mount
+// needs a fresh policy instance whose learned state is then restored
+// from the checkpoint.
+func newPolicy(name string, dev *ssd.Device) (ftl.Policy, *core.CubeFTL, error) {
+	switch name {
+	case FTLPage:
+		return ftl.NewPagePolicy(), nil, nil
+	case FTLVert:
+		return ftl.NewVertPolicy(), nil, nil
+	case FTLIsp:
+		return ftl.NewIspPolicy(func(chip, block int) int {
+			return dev.Chip(chip).NAND.PECycles(block)
+		}), nil, nil
+	case FTLCube:
+		cube := core.New(dev.Geometry())
+		return cube, cube, nil
+	case FTLCubeMinus:
+		cube := core.NewMinus(dev.Geometry())
+		return cube, cube, nil
+	}
+	return nil, nil, fmt.Errorf("cubeftl: unknown FTL %q", name)
 }
 
 // Channels returns the device's channel (bus) count.
@@ -239,7 +278,16 @@ func (s *SSD) Write(lpn int64, done func()) error {
 	if done == nil {
 		done = func() {}
 	}
-	return s.ctrl.Write(ftl.LPN(lpn), done)
+	inner := done
+	s.outstanding++
+	err := s.ctrl.Write(ftl.LPN(lpn), func() {
+		s.outstanding--
+		inner()
+	})
+	if err != nil {
+		s.outstanding--
+	}
+	return err
 }
 
 // Degraded reports whether the whole device has dropped to read-only
@@ -263,12 +311,23 @@ func (s *SSD) Read(lpn int64, done func()) error {
 	if done == nil {
 		done = func() {}
 	}
-	s.ctrl.Read(ftl.LPN(lpn), done)
+	inner := done
+	s.outstanding++
+	s.ctrl.Read(ftl.LPN(lpn), func() {
+		s.outstanding--
+		inner()
+	})
 	return nil
 }
 
 // Run advances the simulation until all queued host I/O has completed.
 func (s *SSD) Run() {
+	if s.mgr != nil {
+		// The recovery manager's checkpoint timer keeps the event queue
+		// populated forever, so run by condition, not by queue drain.
+		s.eng.RunWhile(func() bool { return s.outstanding > 0 || !s.ctrl.Drained() })
+		return
+	}
 	s.eng.Run()
 	s.eng.RunWhile(func() bool { return !s.ctrl.Drained() })
 }

@@ -18,7 +18,7 @@ type WriteBuffer struct {
 
 type bufEntry struct {
 	lpn      LPN
-	seq      uint64 // bumped on every overwrite; flushes capture it
+	stamp    uint64 // global write stamp of the latest data; flushes capture it
 	inflight bool   // currently part of an issued program
 	requeue  bool   // overwritten while in flight; must flush again
 	requeues int    // failed-program requeues survived (telemetry)
@@ -56,12 +56,13 @@ func (b *WriteBuffer) Contains(lpn LPN) bool {
 // Flushable returns how many entries are queued and not in flight.
 func (b *WriteBuffer) Flushable() int { return len(b.queue) }
 
-// Put admits a host write. An overwrite of a buffered page coalesces in
-// place and always succeeds; a new page needs a free slot. It reports
-// whether the write was admitted.
-func (b *WriteBuffer) Put(lpn LPN) bool {
+// Put admits a host write carrying its global write stamp (monotonic
+// across the device; see Controller). An overwrite of a buffered page
+// coalesces in place and always succeeds; a new page needs a free slot.
+// It reports whether the write was admitted.
+func (b *WriteBuffer) Put(lpn LPN, stamp uint64) bool {
 	if e, ok := b.entries[lpn]; ok {
-		e.seq++
+		e.stamp = stamp
 		if e.inflight {
 			e.requeue = true
 		}
@@ -70,7 +71,7 @@ func (b *WriteBuffer) Put(lpn LPN) bool {
 	if b.occupied >= b.capacity {
 		return false
 	}
-	b.entries[lpn] = &bufEntry{lpn: lpn}
+	b.entries[lpn] = &bufEntry{lpn: lpn, stamp: stamp}
 	b.queue = append(b.queue, lpn)
 	b.occupied++
 	return true
@@ -80,7 +81,9 @@ func (b *WriteBuffer) Put(lpn LPN) bool {
 // be settled on completion.
 type FlushHandle struct {
 	LPN LPN
-	seq uint64
+	// Stamp is the global write stamp captured at issue; it is written
+	// to the page's OOB and becomes the mapping's stamp on settle.
+	Stamp uint64
 	// Requeues is how many failed programs already bounced this entry
 	// back to the queue before this issue — a page that survives a
 	// fenced-die or program-status requeue still settles exactly once,
@@ -100,7 +103,7 @@ func (b *WriteBuffer) TakeFlushGroup(max int) []FlushHandle {
 		lpn := b.queue[i]
 		e := b.entries[lpn]
 		e.inflight = true
-		out = append(out, FlushHandle{LPN: lpn, seq: e.seq, Requeues: e.requeues})
+		out = append(out, FlushHandle{LPN: lpn, Stamp: e.stamp, Requeues: e.requeues})
 	}
 	b.queue = b.queue[n:]
 	return out
@@ -137,7 +140,7 @@ func (b *WriteBuffer) Settle(h FlushHandle) (current bool) {
 	if !ok {
 		return false
 	}
-	current = e.seq == h.seq
+	current = e.stamp == h.Stamp
 	if e.requeue {
 		e.inflight = false
 		e.requeue = false

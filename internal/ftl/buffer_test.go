@@ -7,17 +7,17 @@ import (
 
 func TestBufferAdmission(t *testing.T) {
 	b := mustBuffer(t, 2)
-	if !b.Put(1) || !b.Put(2) {
+	if !b.Put(1, 1) || !b.Put(2, 2) {
 		t.Fatal("admission to empty buffer failed")
 	}
-	if b.Put(3) {
+	if b.Put(3, 3) {
 		t.Fatal("admission to full buffer succeeded")
 	}
 	if b.Occupied() != 2 || b.Utilization() != 1 {
 		t.Errorf("occupied=%d util=%v", b.Occupied(), b.Utilization())
 	}
 	// Overwrite of a buffered page coalesces even when full.
-	if !b.Put(1) {
+	if !b.Put(1, 4) {
 		t.Fatal("coalescing overwrite rejected")
 	}
 	if b.Occupied() != 2 {
@@ -28,7 +28,7 @@ func TestBufferAdmission(t *testing.T) {
 func TestBufferFlushSettle(t *testing.T) {
 	b := mustBuffer(t, 8)
 	for lpn := LPN(0); lpn < 5; lpn++ {
-		b.Put(lpn)
+		b.Put(lpn, uint64(lpn)+1)
 	}
 	g := b.TakeFlushGroup(3)
 	if len(g) != 3 || g[0].LPN != 0 || g[2].LPN != 2 {
@@ -52,13 +52,13 @@ func TestBufferFlushSettle(t *testing.T) {
 
 func TestBufferOverwriteInFlight(t *testing.T) {
 	b := mustBuffer(t, 8)
-	b.Put(7)
+	b.Put(7, 1)
 	g := b.TakeFlushGroup(3)
 	if len(g) != 1 {
 		t.Fatalf("group = %+v", g)
 	}
 	// Overwrite while the program is in flight.
-	if !b.Put(7) {
+	if !b.Put(7, 2) {
 		t.Fatal("in-flight overwrite rejected")
 	}
 	// The flushed (stale) copy must not be mapped, and the page must be
@@ -82,7 +82,7 @@ func TestBufferOverwriteInFlight(t *testing.T) {
 func TestBufferRequeue(t *testing.T) {
 	b := mustBuffer(t, 8)
 	for lpn := LPN(0); lpn < 4; lpn++ {
-		b.Put(lpn)
+		b.Put(lpn, uint64(lpn)+1)
 	}
 	g := b.TakeFlushGroup(3)
 	b.Requeue(g)

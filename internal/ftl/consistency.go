@@ -15,6 +15,9 @@ func (c *Controller) Trim(lpn LPN, done func()) {
 	if lpn >= 0 && int(lpn) < c.mapper.LogicalPages() {
 		c.mapper.Invalidate(lpn)
 		c.stats.Trims++
+		if c.rec != nil {
+			c.rec.NoteTrim(lpn)
+		}
 	}
 	if done != nil {
 		c.eng.After(c.cfg.BufferReadNs, done)

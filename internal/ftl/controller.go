@@ -41,6 +41,12 @@ type ControllerConfig struct {
 	// DisableReadReclaim turns off read-disturb reclaim (relocating a
 	// block whose read count exceeds the chip's disturb budget).
 	DisableReadReclaim bool
+	// DurableAcks defers host write acknowledgments until the write's
+	// journal record is durable (requires an attached RecoveryHook).
+	// With it, an acked write is guaranteed to survive a power cut;
+	// without it, acks fire on buffer admission (the classic volatile
+	// write-cache contract) and recently acked writes can be lost.
+	DurableAcks bool
 }
 
 // DefaultControllerConfig returns the evaluation defaults.
@@ -177,6 +183,27 @@ type Controller struct {
 	flushChip     int            // round-robin cursor
 	timerArmed    bool
 
+	// Crash-consistency state (see internal/recovery). writeStamp is the
+	// last global write stamp issued (monotonic across host writes and
+	// across power cycles); stamps[lpn] is the stamp of the mapped copy.
+	// blockSeq is the last block sequence number assigned to an opened
+	// block. rec, when non-nil, receives mapping deltas for journaling.
+	rec        RecoveryHook
+	writeStamp uint64
+	blockSeq   uint64
+	stamps     []uint64
+
+	// DurableAcks bookkeeping: acks held until the journal record of
+	// the write's mapping is durable.
+	pendingAcks     map[LPN][]stampAck
+	pendingAckCount int
+
+	// gcWindows records every completed [start, end) interval during
+	// which a chip ran GC/evacuation — the power-cut sweep uses it to
+	// aim cuts mid-collection.
+	gcWindows [][2]sim.Time
+	gcStart   []sim.Time
+
 	verify *verifyState // non-nil in VerifyData mode
 	stats  Stats
 
@@ -187,6 +214,11 @@ type Controller struct {
 	reqFail   *telemetry.Counter
 	reqReprog *telemetry.Counter
 	reqAlloc  *telemetry.Counter
+}
+
+type stampAck struct {
+	stamp uint64
+	ack   func()
 }
 
 type pendingWrite struct {
@@ -220,6 +252,8 @@ func NewController(dev *ssd.Device, pol Policy, cfg ControllerConfig) *Controlle
 	}
 	c.stats.ReadLat = metrics.NewHist(0)
 	c.stats.WriteLat = metrics.NewHist(0)
+	c.stamps = make([]uint64, logical)
+	c.pendingAcks = make(map[LPN][]stampAck)
 	if cfg.VerifyData {
 		c.verify = newVerifyState(logical)
 	}
@@ -231,6 +265,7 @@ func NewController(dev *ssd.Device, pol Policy, cfg ControllerConfig) *Controlle
 	c.retired = make([]map[int]bool, nChips)
 	c.pendingRetire = make([][]int, nChips)
 	c.dieDegraded = make([]bool, nChips)
+	c.gcStart = make([]sim.Time, nChips)
 	for chip := 0; chip < nChips; chip++ {
 		// Boot-time factory bad-block scan: factory-marked blocks never
 		// enter the free pool.
@@ -420,7 +455,13 @@ func (c *Controller) takeFreeBlock(chip int) (*BlockCursor, bool) {
 	}
 	b := pool[idx]
 	c.freeBlocks[chip] = append(pool[:idx], pool[idx+1:]...)
-	return NewBlockCursor(chip, b, c.geo.Layers, c.geo.WLsPerLayer), true
+	cur := NewBlockCursor(chip, b, c.geo.Layers, c.geo.WLsPerLayer)
+	c.blockSeq++
+	cur.Seq = c.blockSeq
+	if c.rec != nil {
+		c.rec.NoteBlockOpened(chip, b, cur.Seq)
+	}
+	return cur, true
 }
 
 // WearSpread returns the min and max block P/E counts across the device
@@ -528,7 +569,7 @@ func (c *Controller) maybeReclaim(chip, block int) {
 	if len(c.freeBlocks[chip]) <= 1 {
 		return // do not race an out-of-space condition
 	}
-	c.gcActive[chip] = true
+	c.setGCActive(chip, true)
 	c.stats.Reclaims++
 	c.relocate(chip, block, c.mapper.LivePages(chip, block))
 }
@@ -560,12 +601,20 @@ func (c *Controller) WriteTraced(lpn LPN, pp *telemetry.PageProbe, done func()) 
 		c.stats.WriteLat.Add(c.eng.Now() - start)
 		done()
 	}
-	if c.buf.Put(lpn) {
+	stamp := c.writeStamp + 1
+	if c.buf.Put(lpn, stamp) {
+		c.writeStamp = stamp
 		if pp != nil {
 			pp.Buffered = true
 			pp.BufferNs += c.cfg.BufferReadNs
 		}
-		c.eng.After(c.cfg.BufferReadNs, ack) // DMA into buffer
+		if c.cfg.DurableAcks && c.rec != nil {
+			// Hold the ack until the journal record of this write's
+			// mapping is durable (released by the recovery manager).
+			c.deferAck(lpn, stamp, ack)
+		} else {
+			c.eng.After(c.cfg.BufferReadNs, ack) // DMA into buffer
+		}
 		c.maybeFlush()
 		return nil
 	}
@@ -578,15 +627,21 @@ func (c *Controller) WriteTraced(lpn LPN, pp *telemetry.PageProbe, done func()) 
 func (c *Controller) admitPending() {
 	for len(c.pendingWrites) > 0 {
 		pw := c.pendingWrites[0]
-		if !c.buf.Put(pw.lpn) {
+		stamp := c.writeStamp + 1
+		if !c.buf.Put(pw.lpn, stamp) {
 			return
 		}
+		c.writeStamp = stamp
 		c.pendingWrites = c.pendingWrites[1:]
 		if pw.pp != nil {
 			pw.pp.Buffered = true
 			pw.pp.AdmitWaitNs += c.eng.Now() - pw.enqueuedNs
 		}
-		pw.done()
+		if c.cfg.DurableAcks && c.rec != nil {
+			c.deferAck(pw.lpn, stamp, pw.done)
+		} else {
+			pw.done()
+		}
 	}
 }
 
@@ -711,7 +766,7 @@ func (c *Controller) flushTo(chip int, group []FlushHandle) {
 	addr := nand.Address{Block: block, Layer: layer, WL: wl}
 	c.inflight[chip]++
 	issueAt := c.eng.Now()
-	c.dev.Program(chip, addr, c.hostPages(group), params, func(res nand.ProgramResult, err error) {
+	c.dev.ProgramOOB(chip, addr, c.hostPages(group), c.flushOOB(group, cursor.Seq), params, func(res nand.ProgramResult, err error) {
 		c.inflight[chip]--
 		if errors.Is(err, ssd.ErrDieFenced) {
 			// The die degraded while this program waited for its grant:
@@ -757,8 +812,13 @@ func (c *Controller) flushTo(chip int, group []FlushHandle) {
 			wlIdx := layer*c.geo.WLsPerLayer + wl
 			for i, h := range group {
 				if c.buf.Settle(h) {
-					c.mapper.Map(h.LPN, c.geo.EncodePPN(chip, block, wlIdx, i))
-					c.recordMapping(h.LPN, h.seq)
+					ppn := c.geo.EncodePPN(chip, block, wlIdx, i)
+					c.mapper.Map(h.LPN, ppn)
+					c.stamps[h.LPN] = h.Stamp
+					c.recordMapping(h.LPN, h.Stamp)
+					if c.rec != nil {
+						c.rec.NoteMapped(h.LPN, ppn, h.Stamp)
+					}
 				}
 			}
 			c.admitPending()
@@ -817,6 +877,9 @@ func (c *Controller) retireBlock(chip, block int) {
 	c.retired[chip][block] = true
 	c.stats.RetiredBlocks++
 	c.dev.Chip(chip).NAND.MarkBadBlock(block)
+	if c.rec != nil {
+		c.rec.NoteRetired(chip, block)
+	}
 	if c.mapper.ValidCount(chip, block) > 0 {
 		c.evacuate(chip, block)
 	}
@@ -832,7 +895,7 @@ func (c *Controller) evacuate(chip, block int) {
 		c.pendingRetire[chip] = append(c.pendingRetire[chip], block)
 		return
 	}
-	c.gcActive[chip] = true
+	c.setGCActive(chip, true)
 	c.relocate(chip, block, c.mapper.LivePages(chip, block))
 }
 
@@ -862,6 +925,9 @@ func (c *Controller) markDieDegraded(die int) {
 	c.stats.DegradedDies++
 	if c.hub != nil {
 		c.hub.Instant(telemetry.PidFTL, die, "die_degraded")
+	}
+	if c.rec != nil {
+		c.rec.NoteDieDegraded(die)
 	}
 	c.dev.FenceDiePrograms(die)
 	// Abandon the die's write points: the fence refuses every future
@@ -910,6 +976,20 @@ func (c *Controller) checkDeviceDegraded() {
 		pw.done()
 	}
 	c.pendingWrites = nil
+	// Held durable acks can never be released by journal flushes now
+	// (their data will never program): complete them so the host's
+	// closed loop terminates. They are NOT recorded as durable.
+	var run []func()
+	for _, list := range c.pendingAcks {
+		for _, sa := range list {
+			run = append(run, sa.ack)
+		}
+	}
+	c.pendingAcks = make(map[LPN][]stampAck)
+	c.pendingAckCount = 0
+	for _, f := range run {
+		f()
+	}
 }
 
 // checkDegraded sweeps every die (used when no single die can be
@@ -941,7 +1021,7 @@ func (c *Controller) checkGC(chip int) {
 		c.checkDieDegraded(chip)
 		return
 	}
-	c.gcActive[chip] = true
+	c.setGCActive(chip, true)
 	c.stats.GCCount++
 	c.relocate(chip, victim, c.mapper.LivePages(chip, victim))
 }
@@ -1029,7 +1109,7 @@ func (c *Controller) gcPages(data [][]byte) [][]byte {
 		if i < len(data) && data[i] != nil {
 			pages[i] = data[i]
 		} else {
-			pages[i] = makePageTag(UnmappedLPN, 0)
+			pages[i] = MakePageTag(UnmappedLPN, 0)
 		}
 	}
 	return pages
@@ -1042,7 +1122,7 @@ func (c *Controller) gcWrite(chip, victim int, batch []LPN, data [][]byte, rest 
 		// The die cannot accept relocations anymore. The batch's pages
 		// are still live and readable at the victim — nothing is lost —
 		// but this collection cycle cannot finish.
-		c.gcActive[chip] = false
+		c.setGCActive(chip, false)
 		c.checkDieDegraded(chip)
 		return
 	}
@@ -1051,13 +1131,13 @@ func (c *Controller) gcWrite(chip, victim int, batch []LPN, data [][]byte, rest 
 	params := c.pol.ProgramParams(chip, block, layer, wl)
 	addr := nand.Address{Block: block, Layer: layer, WL: wl}
 	issueAt := c.eng.Now()
-	c.dev.Program(chip, addr, c.gcPages(data), params, func(res nand.ProgramResult, err error) {
+	c.dev.ProgramOOB(chip, addr, c.gcPages(data), c.gcOOB(batch, cursor.Seq), params, func(res nand.ProgramResult, err error) {
 		if errors.Is(err, ssd.ErrDieFenced) {
 			// Defensive: a fence cannot normally race an active GC cycle
 			// (gcActive blocks degrading the die), but if it ever does the
 			// victim's copies are still intact — just end the cycle.
 			c.stats.FencedPrograms++
-			c.gcActive[chip] = false
+			c.setGCActive(chip, false)
 			return
 		}
 		if err != nil {
@@ -1095,8 +1175,15 @@ func (c *Controller) gcWrite(chip, victim int, batch []LPN, data [][]byte, rest 
 			if ppn != ssd.UnmappedPPN {
 				vc, vb, _, _, _ := c.geo.DecodePPN(ppn)
 				if vc == chip && vb == victim {
-					c.mapper.Map(l, c.geo.EncodePPN(chip, block, wlIdx, i))
+					dst := c.geo.EncodePPN(chip, block, wlIdx, i)
+					c.mapper.Map(l, dst)
 					moved++
+					if c.rec != nil {
+						// The relocated copy keeps its data's stamp; the
+						// destination block's younger sequence breaks the tie
+						// against the source copy on recovery.
+						c.rec.NoteMapped(l, dst, c.stamps[l])
+					}
 				}
 			}
 		}
@@ -1125,36 +1212,63 @@ func (c *Controller) finishGC(chip, victim int) {
 		c.gcFinished(chip)
 		return
 	}
-	c.dev.Erase(chip, victim, func(_ nand.EraseResult, err error) {
-		if err != nil {
-			// Erase failure: the block is grown-bad. Its live data was
-			// already relocated, so retiring it loses nothing.
-			c.stats.EraseFailures++
-			if !c.retired[chip][victim] {
-				c.retired[chip][victim] = true
-				c.stats.RetiredBlocks++
-			}
-			c.mapper.ClearBlock(chip, victim)
-			c.stats.FaultRecoveries++
-			c.gcFinished(chip)
+	erase := func() {
+		if c.mapper.ValidCount(chip, victim) > 0 {
+			// A straggler program mapped into the victim while the erase
+			// waited for journal durability: sweep again first.
+			c.relocate(chip, victim, c.mapper.LivePages(chip, victim))
 			return
 		}
-		c.mapper.ClearBlock(chip, victim)
-		c.freeBlocks[chip] = append(c.freeBlocks[chip], victim)
-		c.pol.BlockErased(chip, victim)
-		c.gcFinished(chip)
-	})
+		c.dev.Erase(chip, victim, func(_ nand.EraseResult, err error) {
+			if err != nil {
+				// Erase failure: the block is grown-bad. Its live data was
+				// already relocated, so retiring it loses nothing.
+				c.stats.EraseFailures++
+				if !c.retired[chip][victim] {
+					c.retired[chip][victim] = true
+					c.stats.RetiredBlocks++
+					if c.rec != nil {
+						c.rec.NoteRetired(chip, victim)
+					}
+				}
+				c.mapper.ClearBlock(chip, victim)
+				c.stats.FaultRecoveries++
+				c.gcFinished(chip)
+				return
+			}
+			c.mapper.ClearBlock(chip, victim)
+			repool := func() {
+				c.freeBlocks[chip] = append(c.freeBlocks[chip], victim)
+				c.pol.BlockErased(chip, victim)
+				c.gcFinished(chip)
+			}
+			if c.rec != nil {
+				// The block may not be reopened until its erase record is
+				// durable, or recovery could resurrect pre-erase mappings.
+				c.rec.NoteErased(chip, victim, repool)
+			} else {
+				repool()
+			}
+		})
+	}
+	if c.rec != nil {
+		// Every journal record relocating data out of the victim must be
+		// durable before the cells are wiped.
+		c.rec.BarrierErase(chip, victim, erase)
+	} else {
+		erase()
+	}
 }
 
 // gcFinished ends one relocation cycle and starts the next queued
 // retirement evacuation, if any.
 func (c *Controller) gcFinished(chip int) {
-	c.gcActive[chip] = false
+	c.setGCActive(chip, false)
 	for len(c.pendingRetire[chip]) > 0 {
 		block := c.pendingRetire[chip][0]
 		c.pendingRetire[chip] = c.pendingRetire[chip][1:]
 		if c.mapper.ValidCount(chip, block) > 0 {
-			c.gcActive[chip] = true
+			c.setGCActive(chip, true)
 			c.relocate(chip, block, c.mapper.LivePages(chip, block))
 			return
 		}
@@ -1171,10 +1285,125 @@ func (c *Controller) Drained() bool {
 	if len(c.pendingWrites) > 0 || (!c.degraded && c.buf.Occupied() > 0) {
 		return false
 	}
+	if c.pendingAckCount > 0 && !c.degraded {
+		return false
+	}
 	for _, n := range c.inflight {
 		if n > 0 {
 			return false
 		}
 	}
 	return true
+}
+
+// SetRecovery attaches (or detaches, with nil) the crash-consistency
+// hook. Attach before driving I/O; the recovery manager immediately
+// checkpoints the controller's full state, so deltas that predate the
+// hook are covered by the checkpoint rather than the journal.
+func (c *Controller) SetRecovery(rec RecoveryHook) { c.rec = rec }
+
+// Recovery returns the attached crash-consistency hook, or nil.
+func (c *Controller) Recovery() RecoveryHook { return c.rec }
+
+// StampOf returns the global write stamp of the mapped copy of lpn
+// (zero when never mapped since the stamp counter started).
+func (c *Controller) StampOf(lpn LPN) uint64 { return c.stamps[lpn] }
+
+// PendingAckCount returns how many host write acks are waiting for
+// journal durability (DurableAcks mode).
+func (c *Controller) PendingAckCount() int { return c.pendingAckCount }
+
+// deferAck holds a host write ack until ReleaseDurableAcks covers it.
+func (c *Controller) deferAck(lpn LPN, stamp uint64, ack func()) {
+	c.pendingAcks[lpn] = append(c.pendingAcks[lpn], stampAck{stamp: stamp, ack: ack})
+	c.pendingAckCount++
+}
+
+// ReleaseDurableAcks completes every held ack for lpn whose stamp is
+// <= stamp — called by the recovery manager when the journal record
+// mapping that stamp becomes durable. Older coalesced acks are covered
+// by the newer durable data (host write order is preserved per LPN).
+func (c *Controller) ReleaseDurableAcks(lpn LPN, stamp uint64) {
+	list := c.pendingAcks[lpn]
+	if len(list) == 0 {
+		return
+	}
+	var run []func()
+	kept := list[:0]
+	for _, sa := range list {
+		if sa.stamp <= stamp {
+			run = append(run, sa.ack)
+		} else {
+			kept = append(kept, sa)
+		}
+	}
+	if len(kept) == 0 {
+		delete(c.pendingAcks, lpn)
+	} else {
+		c.pendingAcks[lpn] = kept
+	}
+	c.pendingAckCount -= len(run)
+	// Acks may reenter the controller (the host issues its next
+	// command synchronously): run them only after the map is settled.
+	for _, f := range run {
+		f()
+	}
+}
+
+// setGCActive flips a chip's GC state, recording completed collection
+// windows for the power-cut sweep.
+func (c *Controller) setGCActive(chip int, on bool) {
+	if c.gcActive[chip] == on {
+		return
+	}
+	c.gcActive[chip] = on
+	if on {
+		c.gcStart[chip] = c.eng.Now()
+	} else {
+		c.gcWindows = append(c.gcWindows, [2]sim.Time{c.gcStart[chip], c.eng.Now()})
+	}
+}
+
+// GCWindows returns every completed [start, end) simulated-time window
+// during which some chip ran GC or evacuation.
+func (c *Controller) GCWindows() [][2]sim.Time {
+	return append([][2]sim.Time(nil), c.gcWindows...)
+}
+
+// GCActiveAny reports whether any chip is mid-collection.
+func (c *Controller) GCActiveAny() bool {
+	for _, on := range c.gcActive {
+		if on {
+			return true
+		}
+	}
+	return false
+}
+
+// flushOOB builds the spare-area records for a host flush group,
+// padding the word line's unused slots.
+func (c *Controller) flushOOB(group []FlushHandle, blockSeq uint64) [][]byte {
+	oob := make([][]byte, vth.PagesPerWL)
+	for i := range oob {
+		if i < len(group) {
+			oob[i] = EncodeOOB(group[i].LPN, group[i].Stamp, blockSeq)
+		} else {
+			oob[i] = EncodeOOB(UnmappedLPN, 0, blockSeq)
+		}
+	}
+	return oob
+}
+
+// gcOOB builds the spare-area records for a GC relocation word line:
+// each copy keeps its data's original write stamp.
+func (c *Controller) gcOOB(batch []LPN, blockSeq uint64) [][]byte {
+	oob := make([][]byte, vth.PagesPerWL)
+	for i := range oob {
+		if i < len(batch) {
+			oob[i] = EncodeOOB(batch[i], c.stamps[batch[i]], blockSeq)
+		} else {
+			oob[i] = EncodeOOB(UnmappedLPN, 0, blockSeq)
+		}
+	}
+	return oob
 }

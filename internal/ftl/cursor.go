@@ -49,6 +49,13 @@ type BlockCursor struct {
 	Chip  int
 	Block int
 
+	// Seq is the block sequence number assigned when the block was
+	// opened for writing: globally monotonic across the device and
+	// across power cycles. Every page programmed into the block carries
+	// it in OOB, letting recovery order copies of the same logical page
+	// that share a write stamp (GC relocations).
+	Seq uint64
+
 	layers      int
 	wlsPerLayer int
 	programmed  []bool // indexed layer*wlsPerLayer+wl
@@ -64,6 +71,31 @@ func NewBlockCursor(chip, block, layers, wlsPerLayer int) *BlockCursor {
 		wlsPerLayer: wlsPerLayer,
 		programmed:  make([]bool, layers*wlsPerLayer),
 	}
+}
+
+// RestoreBlockCursor rebuilds a cursor over a partially-programmed
+// block from its media-derived word-line occupancy — the mount path
+// re-arming a write point recovered after a power cut. programmed is
+// indexed layer*wlsPerLayer+wl and copied.
+func RestoreBlockCursor(chip, block, layers, wlsPerLayer int, seq uint64, programmed []bool) *BlockCursor {
+	if len(programmed) != layers*wlsPerLayer {
+		panic(fmt.Sprintf("ftl: RestoreBlockCursor bitmap has %d word lines, want %d",
+			len(programmed), layers*wlsPerLayer))
+	}
+	c := &BlockCursor{
+		Chip:        chip,
+		Block:       block,
+		Seq:         seq,
+		layers:      layers,
+		wlsPerLayer: wlsPerLayer,
+		programmed:  append([]bool(nil), programmed...),
+	}
+	for _, p := range programmed {
+		if p {
+			c.used++
+		}
+	}
+	return c
 }
 
 // Layers returns the block's h-layer count.

@@ -14,23 +14,25 @@ import (
 // means the FTL mapped a page to the wrong place or lost an update —
 // the strongest end-to-end correctness oracle the simulator has.
 //
-// Payloads are PageTagBytes long: the LPN and the write sequence number
+// Payloads are PageTagBytes long: the LPN and the global write stamp
 // that produced them. The chip model stores whatever slice it is given,
-// so tags stand in for full 16 KB pages without the memory cost.
+// so tags stand in for full 16 KB pages without the memory cost. The
+// recovery verifier uses the same tags to prove every acked write is
+// readable with the right data after a power cycle.
 
 // PageTagBytes is the length of a synthesized page payload.
 const PageTagBytes = 16
 
-// makePageTag encodes (lpn, seq).
-func makePageTag(lpn LPN, seq uint64) []byte {
+// MakePageTag encodes (lpn, stamp) as a synthesized payload.
+func MakePageTag(lpn LPN, stamp uint64) []byte {
 	b := make([]byte, PageTagBytes)
 	binary.LittleEndian.PutUint64(b[0:8], uint64(lpn))
-	binary.LittleEndian.PutUint64(b[8:16], seq)
+	binary.LittleEndian.PutUint64(b[8:16], stamp)
 	return b
 }
 
-// parsePageTag decodes a payload; ok is false for foreign content.
-func parsePageTag(b []byte) (lpn LPN, seq uint64, ok bool) {
+// ParsePageTag decodes a payload; ok is false for foreign content.
+func ParsePageTag(b []byte) (lpn LPN, stamp uint64, ok bool) {
 	if len(b) != PageTagBytes {
 		return 0, 0, false
 	}
@@ -39,13 +41,13 @@ func parsePageTag(b []byte) (lpn LPN, seq uint64, ok bool) {
 
 // verifyState tracks what every live logical page should contain.
 type verifyState struct {
-	// expectedSeq[lpn] is the write sequence of the currently mapped
+	// expectedStamp[lpn] is the write stamp of the currently mapped
 	// copy, recorded when the mapping was installed.
-	expectedSeq []uint64
+	expectedStamp []uint64
 }
 
 func newVerifyState(logicalPages int) *verifyState {
-	return &verifyState{expectedSeq: make([]uint64, logicalPages)}
+	return &verifyState{expectedStamp: make([]uint64, logicalPages)}
 }
 
 // hostPages builds the payloads for a flush group, padding the word
@@ -57,18 +59,18 @@ func (c *Controller) hostPages(group []FlushHandle) [][]byte {
 	pages := make([][]byte, vth.PagesPerWL)
 	for i := range pages {
 		if i < len(group) {
-			pages[i] = makePageTag(group[i].LPN, group[i].seq)
+			pages[i] = MakePageTag(group[i].LPN, group[i].Stamp)
 		} else {
-			pages[i] = makePageTag(UnmappedLPN, 0) // padding slot
+			pages[i] = MakePageTag(UnmappedLPN, 0) // padding slot
 		}
 	}
 	return pages
 }
 
-// recordMapping notes the sequence number now live for an LPN.
-func (c *Controller) recordMapping(lpn LPN, seq uint64) {
+// recordMapping notes the write stamp now live for an LPN.
+func (c *Controller) recordMapping(lpn LPN, stamp uint64) {
 	if c.verify != nil {
-		c.verify.expectedSeq[lpn] = seq
+		c.verify.expectedStamp[lpn] = stamp
 	}
 }
 
@@ -79,8 +81,8 @@ func (c *Controller) checkReadPayload(lpn LPN, data []byte) bool {
 	if c.verify == nil || data == nil {
 		return true
 	}
-	gotLPN, gotSeq, ok := parsePageTag(data)
-	if !ok || gotLPN != lpn || gotSeq != c.verify.expectedSeq[lpn] {
+	gotLPN, gotStamp, ok := ParsePageTag(data)
+	if !ok || gotLPN != lpn || gotStamp != c.verify.expectedStamp[lpn] {
 		c.stats.DataMismatches++
 		return false
 	}

@@ -25,12 +25,12 @@ func verifyingController(seed uint64) (*sim.Engine, *Controller) {
 }
 
 func TestPageTagRoundTrip(t *testing.T) {
-	b := makePageTag(12345, 99)
-	lpn, seq, ok := parsePageTag(b)
+	b := MakePageTag(12345, 99)
+	lpn, seq, ok := ParsePageTag(b)
 	if !ok || lpn != 12345 || seq != 99 {
 		t.Fatalf("round trip = %d %d %v", lpn, seq, ok)
 	}
-	if _, _, ok := parsePageTag([]byte{1, 2, 3}); ok {
+	if _, _, ok := ParsePageTag([]byte{1, 2, 3}); ok {
 		t.Fatal("short payload accepted")
 	}
 }

@@ -1,0 +1,223 @@
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"cubeftl/internal/metrics"
+	"cubeftl/internal/nand"
+	"cubeftl/internal/sim"
+	"cubeftl/internal/ssd"
+)
+
+// MountState is the controller's durable translation state: what a
+// checkpoint captures and what a recovery mount rebuilds. It contains
+// no volatile structures — no buffer contents, no in-flight programs,
+// no cursor bitmaps (word-line occupancy is re-derived from the media
+// itself at mount, which is what makes partially-programmed and
+// never-executed word lines come out right).
+type MountState struct {
+	// LastStamp is the highest global write stamp issued; LastBlockSeq
+	// the highest block sequence number. Both counters resume strictly
+	// above these after a mount.
+	LastStamp    uint64
+	LastBlockSeq uint64
+
+	// Mappings lists every live L2P entry in ascending LPN order, each
+	// carrying the write stamp of its data version.
+	Mappings []MappingRecord
+
+	// Free is each chip's erased-block pool, in pool order.
+	Free [][]int
+
+	// Actives lists each chip's open write points with their block
+	// sequence numbers.
+	Actives [][]ActiveRecord
+
+	// Retired lists each chip's retired blocks (factory and grown),
+	// sorted ascending.
+	Retired [][]int
+
+	// DegradedDies marks dies that had dropped to read-only.
+	DegradedDies []bool
+}
+
+// MappingRecord is one live L2P entry.
+type MappingRecord struct {
+	LPN   LPN
+	PPN   ssd.PPN
+	Stamp uint64
+}
+
+// ActiveRecord identifies an open write point.
+type ActiveRecord struct {
+	Block int
+	Seq   uint64
+}
+
+// StateSnapshot captures the controller's durable state at this
+// instant — the checkpoint body. Deterministic: the same state always
+// produces the same snapshot.
+func (c *Controller) StateSnapshot() MountState {
+	ms := MountState{
+		LastStamp:    c.writeStamp,
+		LastBlockSeq: c.blockSeq,
+		Free:         make([][]int, c.geo.Chips),
+		Actives:      make([][]ActiveRecord, c.geo.Chips),
+		Retired:      make([][]int, c.geo.Chips),
+		DegradedDies: append([]bool(nil), c.dieDegraded...),
+	}
+	for lpn := LPN(0); lpn < LPN(c.mapper.LogicalPages()); lpn++ {
+		ppn := c.mapper.Lookup(lpn)
+		if ppn == ssd.UnmappedPPN {
+			continue
+		}
+		ms.Mappings = append(ms.Mappings, MappingRecord{LPN: lpn, PPN: ppn, Stamp: c.stamps[lpn]})
+	}
+	for chip := 0; chip < c.geo.Chips; chip++ {
+		ms.Free[chip] = append([]int(nil), c.freeBlocks[chip]...)
+		for _, cur := range c.actives[chip] {
+			ms.Actives[chip] = append(ms.Actives[chip], ActiveRecord{Block: cur.Block, Seq: cur.Seq})
+		}
+		for b := range c.retired[chip] {
+			ms.Retired[chip] = append(ms.Retired[chip], b)
+		}
+		sort.Ints(ms.Retired[chip])
+	}
+	return ms
+}
+
+// NewControllerWithState rebuilds a controller over a device whose
+// media survived a power cut — the mount path. The mapping, pools,
+// retired set, degraded dies, and stamp counters come from ms (the
+// recovered state); word-line occupancy of the restored write points
+// comes from the media. Write points are topped back up to the
+// policy's count from the free pool, and retired blocks still holding
+// live pages are queued for evacuation (run the engine until
+// GCActiveAny reports false to let those finish).
+func NewControllerWithState(dev *ssd.Device, pol Policy, cfg ControllerConfig, ms MountState) (*Controller, error) {
+	if cfg.WriteBufferPages <= 0 {
+		cfg = DefaultControllerConfig()
+	}
+	geo := dev.Geometry()
+	logical := int(float64(geo.PhysPages()) * (1 - cfg.OverProvision))
+	buf, err := NewWriteBuffer(cfg.WriteBufferPages)
+	if err != nil {
+		buf, _ = NewWriteBuffer(DefaultControllerConfig().WriteBufferPages)
+	}
+	c := &Controller{
+		eng:    dev.Engine(),
+		dev:    dev,
+		pol:    pol,
+		cfg:    cfg,
+		geo:    geo,
+		mapper: NewMapper(geo, logical),
+		buf:    buf,
+	}
+	c.stats.ReadLat = metrics.NewHist(0)
+	c.stats.WriteLat = metrics.NewHist(0)
+	c.stamps = make([]uint64, logical)
+	c.pendingAcks = make(map[LPN][]stampAck)
+	if cfg.VerifyData {
+		c.verify = newVerifyState(logical)
+	}
+	nChips := geo.Chips
+	if len(ms.Free) != nChips || len(ms.Actives) != nChips || len(ms.Retired) != nChips {
+		return nil, fmt.Errorf("ftl: mount state covers %d chips, device has %d", len(ms.Free), nChips)
+	}
+	c.freeBlocks = make([][]int, nChips)
+	c.actives = make([][]*BlockCursor, nChips)
+	c.inflight = make([]int, nChips)
+	c.gcActive = make([]bool, nChips)
+	c.retired = make([]map[int]bool, nChips)
+	c.pendingRetire = make([][]int, nChips)
+	c.dieDegraded = make([]bool, nChips)
+	c.gcStart = make([]sim.Time, nChips)
+	c.writeStamp = ms.LastStamp
+	c.blockSeq = ms.LastBlockSeq
+
+	for chip := 0; chip < nChips; chip++ {
+		chipNAND := dev.Chip(chip).NAND
+		c.retired[chip] = make(map[int]bool)
+		for _, b := range ms.Retired[chip] {
+			c.retired[chip][b] = true
+		}
+		factory := 0
+		for _, b := range chipNAND.FactoryBadBlocks() {
+			c.retired[chip][b] = true
+			factory++
+		}
+		c.stats.FactoryBadBlocks += int64(factory)
+		c.stats.RetiredBlocks += int64(len(c.retired[chip]) - factory)
+		c.freeBlocks[chip] = append([]int(nil), ms.Free[chip]...)
+		for _, ar := range ms.Actives[chip] {
+			programmed := make([]bool, geo.Layers*geo.WLsPerLayer)
+			for l := 0; l < geo.Layers; l++ {
+				for w := 0; w < geo.WLsPerLayer; w++ {
+					programmed[l*geo.WLsPerLayer+w] = chipNAND.IsProgrammed(nand.Address{Block: ar.Block, Layer: l, WL: w})
+				}
+			}
+			cur := RestoreBlockCursor(chip, ar.Block, geo.Layers, geo.WLsPerLayer, ar.Seq, programmed)
+			if cur.Full() {
+				continue // filled right before the cut: a dirty block now
+			}
+			c.actives[chip] = append(c.actives[chip], cur)
+		}
+	}
+
+	// Install the recovered mapping.
+	for _, m := range ms.Mappings {
+		if m.LPN < 0 || int(m.LPN) >= logical {
+			return nil, fmt.Errorf("ftl: mount state maps out-of-range LPN %d", m.LPN)
+		}
+		c.mapper.Map(m.LPN, m.PPN)
+		c.stamps[m.LPN] = m.Stamp
+		c.recordMapping(m.LPN, m.Stamp)
+	}
+
+	// Restore degraded dies: fence them again and leave their write
+	// points abandoned, exactly as when they first degraded.
+	for die, deg := range ms.DegradedDies {
+		if !deg {
+			continue
+		}
+		c.dieDegraded[die] = true
+		c.stats.DegradedDies++
+		c.dev.FenceDiePrograms(die)
+		for _, cur := range c.actives[die] {
+			c.pol.BlockRetired(die, cur.Block)
+		}
+		c.actives[die] = nil
+	}
+	allDegraded := true
+	for die := 0; die < nChips; die++ {
+		if !c.dieDegraded[die] {
+			allDegraded = false
+		}
+	}
+	c.degraded = allDegraded
+
+	// Re-arm write points and restart any interrupted evacuations.
+	want := pol.ActiveBlocksPerChip()
+	if want < 1 {
+		want = 1
+	}
+	for chip := 0; chip < nChips; chip++ {
+		if c.dieDegraded[chip] {
+			continue
+		}
+		for len(c.actives[chip]) < want {
+			cur, ok := c.takeFreeBlock(chip)
+			if !ok {
+				break
+			}
+			c.actives[chip] = append(c.actives[chip], cur)
+		}
+		for _, b := range ms.Retired[chip] {
+			if c.mapper.ValidCount(chip, b) > 0 {
+				c.evacuate(chip, b)
+			}
+		}
+	}
+	return c, nil
+}

@@ -47,7 +47,7 @@ func NewArbiter(name string, guardNs int64) (Arbiter, error) {
 	case "prio":
 		return NewStrictPriority(guardNs), nil
 	}
-	return nil, fmt.Errorf("host: unknown arbiter %q (have rr, wrr, prio)", name)
+	return nil, fmt.Errorf("%w: %q (have rr, wrr, prio)", ErrUnknownArbiter, name)
 }
 
 // roundRobin grants queues in cyclic index order.

@@ -37,6 +37,9 @@ var (
 	ErrBadQueue = errors.New("host: no such queue")
 	// ErrNoQueues reports a host configured without queue pairs.
 	ErrNoQueues = errors.New("host: at least one queue pair required")
+	// ErrUnknownArbiter reports a NewArbiter name outside the supported
+	// set (rr, wrr, prio).
+	ErrUnknownArbiter = errors.New("host: unknown arbiter")
 )
 
 // Op is a host command direction.

@@ -69,6 +69,16 @@ type wlState struct {
 	paramPenalty float64 // BER multiplier from aggressive program parameters
 	disturbed    bool    // environmental disturbance hit this program
 	pages        [][]byte
+
+	// oob holds the per-page out-of-band (spare area) metadata written
+	// alongside the payload. Unlike pages it is kept even when the chip
+	// does not store data: the recovery subsystem reconstructs the L2P
+	// mapping from it after a power cut.
+	oob [][]byte
+	// partial marks a word line whose program was interrupted by a
+	// power cut: the cells hold an indeterminate charge pattern, any
+	// read fails ECC, and the OOB is unreadable.
+	partial bool
 }
 
 type blockState struct {

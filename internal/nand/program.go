@@ -86,6 +86,14 @@ type ProgramResult struct {
 // may be nil when the chip does not store data; otherwise it must hold
 // vth.PagesPerWL byte slices.
 func (c *Chip) ProgramWL(a Address, pages [][]byte, params ProgramParams) (ProgramResult, error) {
+	return c.ProgramWLOOB(a, pages, nil, params)
+}
+
+// ProgramWLOOB is ProgramWL with per-page out-of-band metadata. The OOB
+// is stored regardless of StoreData — it is the spare area the recovery
+// subsystem scans to rebuild the mapping — and must hold vth.PagesPerWL
+// slices when non-nil.
+func (c *Chip) ProgramWLOOB(a Address, pages, oob [][]byte, params ProgramParams) (ProgramResult, error) {
 	var res ProgramResult
 	if err := c.checkAddr(Address{Block: a.Block, Layer: a.Layer, WL: a.WL}); err != nil {
 		return res, err
@@ -105,6 +113,15 @@ func (c *Chip) ProgramWL(a Address, pages [][]byte, params ProgramParams) (Progr
 		st.pages = make([][]byte, vth.PagesPerWL)
 		for i, p := range pages {
 			st.pages[i] = append([]byte(nil), p...)
+		}
+	}
+	if oob != nil {
+		if len(oob) != vth.PagesPerWL {
+			return res, fmt.Errorf("nand: ProgramWLOOB of %v needs %d OOB slices, got %d", a, vth.PagesPerWL, len(oob))
+		}
+		st.oob = make([][]byte, vth.PagesPerWL)
+		for i, b := range oob {
+			st.oob[i] = append([]byte(nil), b...)
 		}
 	}
 
@@ -209,6 +226,7 @@ func (c *Chip) ProgramWL(a Address, pages [][]byte, params ProgramParams) (Progr
 		st.programmed = true
 		st.paramPenalty = 1e9 // garbage: unreadable at any offset
 		st.pages = nil
+		st.oob = nil // the spare area is as indeterminate as the payload
 		c.stats.ProgramFails++
 		res.LatencyNs = latency
 		return res, fmt.Errorf("%w: %v", ErrProgramFail, a)

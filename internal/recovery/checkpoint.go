@@ -1,0 +1,252 @@
+package recovery
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"cubeftl/internal/ftl"
+	"cubeftl/internal/sim"
+	"cubeftl/internal/ssd"
+)
+
+// SystemArea models the reserved flash region holding the recovery
+// metadata: two checkpoint slots written ping-pong (so a torn
+// checkpoint write never destroys the previous good one) and the
+// append-only journal. It is the only structure besides the NAND array
+// that survives a power cut — everything else (engine, device handles,
+// controller, manager) is volatile and rebuilt at mount.
+type SystemArea struct {
+	base    uint64 // absolute journal offset of journal[0]
+	journal []byte // durable journal bytes
+	slots   [2]ckptSlot
+
+	// cutAt records when power died (simulator bookkeeping used for
+	// checkpoint-age reporting, not consulted by recovery itself).
+	cutAt sim.Time
+}
+
+// ckptSlot is one checkpoint location. A slot is invalidated before
+// its rewrite begins and revalidated only when the write completes, so
+// a cut mid-write tears at most one slot.
+type ckptSlot struct {
+	valid  bool
+	stamp  uint64   // monotonic checkpoint generation
+	cutoff uint64   // absolute journal offset the snapshot covers
+	at     sim.Time // capture time (reporting only)
+	data   []byte   // encoded MountState + policy state
+}
+
+// NewSystemArea returns an empty system area (factory-fresh device).
+func NewSystemArea() *SystemArea { return &SystemArea{} }
+
+// durableEnd returns the absolute offset one past the last durable
+// journal byte.
+func (s *SystemArea) durableEnd() uint64 { return s.base + uint64(len(s.journal)) }
+
+// newestSlot returns the index of the valid slot with the highest
+// stamp, or -1 when no valid checkpoint exists.
+func (s *SystemArea) newestSlot() int {
+	best := -1
+	for i := range s.slots {
+		if s.slots[i].valid && (best < 0 || s.slots[i].stamp > s.slots[best].stamp) {
+			best = i
+		}
+	}
+	return best
+}
+
+// oldestSlot returns the slot a new checkpoint should overwrite: an
+// invalid slot if one exists, else the lower-stamped one.
+func (s *SystemArea) oldestSlot() int {
+	for i := range s.slots {
+		if !s.slots[i].valid {
+			return i
+		}
+	}
+	if s.slots[0].stamp <= s.slots[1].stamp {
+		return 0
+	}
+	return 1
+}
+
+// truncate drops durable journal bytes below the absolute offset off
+// (a no-op if off is at or below the current base). Called when a
+// checkpoint covering those bytes becomes durable.
+func (s *SystemArea) truncate(off uint64) {
+	if off <= s.base {
+		return
+	}
+	if off > s.durableEnd() {
+		off = s.durableEnd()
+	}
+	s.journal = append([]byte(nil), s.journal[off-s.base:]...)
+	s.base = off
+}
+
+// JournalBytes returns the durable journal length (telemetry/tests).
+func (s *SystemArea) JournalBytes() int { return len(s.journal) }
+
+// CheckpointBytes returns the newest valid checkpoint's size, or 0.
+func (s *SystemArea) CheckpointBytes() int {
+	if i := s.newestSlot(); i >= 0 {
+		return len(s.slots[i].data)
+	}
+	return 0
+}
+
+// StateBytes returns a copy of the newest valid checkpoint image — the
+// canonical serialization of the recovered state. Two mounts that
+// recovered identical state produce identical StateBytes; the sweep
+// test uses this for the byte-identical same-seed check.
+func (s *SystemArea) StateBytes() []byte {
+	if i := s.newestSlot(); i >= 0 {
+		return append([]byte(nil), s.slots[i].data...)
+	}
+	return nil
+}
+
+// Checkpoint image encoding: magic | MountState | policy-state bytes |
+// CRC-32 over everything before it. Deterministic for identical state.
+var ckptMagic = [4]byte{'C', 'C', 'K', 'P'}
+
+func encodeCheckpoint(ms ftl.MountState, policy []byte) []byte {
+	var b []byte
+	b = append(b, ckptMagic[:]...)
+	b = binary.LittleEndian.AppendUint64(b, ms.LastStamp)
+	b = binary.LittleEndian.AppendUint64(b, ms.LastBlockSeq)
+	nChips := len(ms.Free)
+	b = binary.LittleEndian.AppendUint32(b, uint32(nChips))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ms.Mappings)))
+	for _, m := range ms.Mappings {
+		b = binary.LittleEndian.AppendUint64(b, uint64(m.LPN))
+		b = binary.LittleEndian.AppendUint64(b, uint64(int64(m.PPN)))
+		b = binary.LittleEndian.AppendUint64(b, m.Stamp)
+	}
+	for chip := 0; chip < nChips; chip++ {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(ms.Free[chip])))
+		for _, blk := range ms.Free[chip] {
+			b = binary.LittleEndian.AppendUint32(b, uint32(blk))
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(ms.Actives[chip])))
+		for _, ar := range ms.Actives[chip] {
+			b = binary.LittleEndian.AppendUint32(b, uint32(ar.Block))
+			b = binary.LittleEndian.AppendUint64(b, ar.Seq)
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(ms.Retired[chip])))
+		for _, blk := range ms.Retired[chip] {
+			b = binary.LittleEndian.AppendUint32(b, uint32(blk))
+		}
+		if ms.DegradedDies[chip] {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(policy)))
+	b = append(b, policy...)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+func decodeCheckpoint(b []byte) (ms ftl.MountState, policy []byte, err error) {
+	if len(b) < 4+4 {
+		return ms, nil, fmt.Errorf("recovery: checkpoint too short (%d bytes)", len(b))
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return ms, nil, fmt.Errorf("recovery: checkpoint CRC mismatch")
+	}
+	r := &ckptReader{b: body}
+	var magic [4]byte
+	r.bytes(magic[:])
+	if r.err == nil && magic != ckptMagic {
+		return ms, nil, fmt.Errorf("recovery: checkpoint magic %q", magic[:])
+	}
+	ms.LastStamp = r.u64()
+	ms.LastBlockSeq = r.u64()
+	nChips := int(r.u32())
+	nMap := int(r.u32())
+	for i := 0; i < nMap && r.err == nil; i++ {
+		ms.Mappings = append(ms.Mappings, ftl.MappingRecord{
+			LPN:   ftl.LPN(r.u64()),
+			PPN:   ssd.PPN(int64(r.u64())),
+			Stamp: r.u64(),
+		})
+	}
+	ms.Free = make([][]int, nChips)
+	ms.Actives = make([][]ftl.ActiveRecord, nChips)
+	ms.Retired = make([][]int, nChips)
+	ms.DegradedDies = make([]bool, nChips)
+	for chip := 0; chip < nChips && r.err == nil; chip++ {
+		for n := int(r.u32()); n > 0 && r.err == nil; n-- {
+			ms.Free[chip] = append(ms.Free[chip], int(r.u32()))
+		}
+		for n := int(r.u32()); n > 0 && r.err == nil; n-- {
+			ms.Actives[chip] = append(ms.Actives[chip], ftl.ActiveRecord{
+				Block: int(r.u32()),
+				Seq:   r.u64(),
+			})
+		}
+		for n := int(r.u32()); n > 0 && r.err == nil; n-- {
+			ms.Retired[chip] = append(ms.Retired[chip], int(r.u32()))
+		}
+		ms.DegradedDies[chip] = r.u8() == 1
+	}
+	if n := int(r.u32()); n > 0 && r.err == nil {
+		policy = make([]byte, n)
+		r.bytes(policy)
+	}
+	if r.err != nil {
+		return ftl.MountState{}, nil, r.err
+	}
+	if len(r.b) != 0 {
+		return ftl.MountState{}, nil, fmt.Errorf("recovery: checkpoint has %d trailing bytes", len(r.b))
+	}
+	return ms, policy, nil
+}
+
+// ckptReader is a little-endian cursor latching the first truncation.
+type ckptReader struct {
+	b   []byte
+	err error
+}
+
+func (r *ckptReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = fmt.Errorf("recovery: checkpoint truncated (need %d bytes, have %d)", n, len(r.b))
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *ckptReader) bytes(dst []byte) {
+	if src := r.take(len(dst)); src != nil {
+		copy(dst, src)
+	}
+}
+
+func (r *ckptReader) u8() byte {
+	if s := r.take(1); s != nil {
+		return s[0]
+	}
+	return 0
+}
+
+func (r *ckptReader) u32() uint32 {
+	if s := r.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (r *ckptReader) u64() uint64 {
+	if s := r.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}

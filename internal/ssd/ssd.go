@@ -15,6 +15,7 @@ package ssd
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"cubeftl/internal/nand"
 	"cubeftl/internal/sim"
@@ -155,20 +156,39 @@ type Device struct {
 	// tERASE) for trace export. Hooks are passive: they never schedule
 	// events, so enabling telemetry cannot change device behavior.
 	hub *telemetry.Hub
+
+	// inflight tracks media operations whose NAND state mutation has
+	// happened but whose latency window is still open. A power cut
+	// inside that window leaves the word line partially programmed (or
+	// the block half erased); the recovery subsystem reads this set at
+	// cut time to corrupt exactly the in-flight operations.
+	inflight map[int64]MediaOp
+	opSeq    int64
 }
 
 // New builds a device on the given engine.
 func New(eng *sim.Engine, cfg Config) *Device {
+	return NewWithArray(eng, cfg, nil)
+}
+
+// NewWithArray builds a device over an existing NAND array — the
+// remount path after a simulated power loss, where the media survives
+// but every volatile structure (engine, resources, controller) is
+// rebuilt. A nil array builds a fresh one from cfg.
+func NewWithArray(eng *sim.Engine, cfg Config, array *nand.Array) *Device {
 	if cfg.Channels <= 0 || cfg.DiesPerChannel <= 0 {
 		panic(fmt.Sprintf("ssd: invalid organization %+v", cfg))
 	}
-	d := &Device{eng: eng, cfg: cfg}
-	d.array = nand.NewArray(nand.ArrayConfig{
-		Channels:       cfg.Channels,
-		DiesPerChannel: cfg.DiesPerChannel,
-		Chip:           cfg.Chip,
-		Seed:           cfg.Seed,
-	})
+	d := &Device{eng: eng, cfg: cfg, inflight: make(map[int64]MediaOp)}
+	d.array = array
+	if d.array == nil {
+		d.array = nand.NewArray(nand.ArrayConfig{
+			Channels:       cfg.Channels,
+			DiesPerChannel: cfg.DiesPerChannel,
+			Chip:           cfg.Chip,
+			Seed:           cfg.Seed,
+		})
+	}
 	d.channels = make([]*sim.Resource, cfg.Channels)
 	for c := range d.channels {
 		d.channels[c] = sim.NewResource(eng, fmt.Sprintf("chan%d", c))
@@ -345,6 +365,12 @@ func (d *Device) ReadProbed(die int, a nand.Address, p nand.ReadParams, pp *tele
 // before any NAND state mutates — so grants queued behind the fence
 // transition cannot write a read-only die.
 func (d *Device) Program(die int, a nand.Address, pages [][]byte, p nand.ProgramParams, done func(res nand.ProgramResult, err error)) {
+	d.ProgramOOB(die, a, pages, nil, p, done)
+}
+
+// ProgramOOB is Program with per-page out-of-band metadata stored in
+// the word line's spare area (see nand.Chip.ProgramWLOOB).
+func (d *Device) ProgramOOB(die int, a nand.Address, pages, oob [][]byte, p nand.ProgramParams, done func(res nand.ProgramResult, err error)) {
 	dh := d.dies[die]
 	if dh.fenced {
 		// Fast-fail before burning channel time on the transfers.
@@ -361,7 +387,7 @@ func (d *Device) Program(die int, a nand.Address, pages [][]byte, p nand.Program
 				done(nand.ProgramResult{}, ErrDieFenced)
 				return
 			}
-			res, err := dh.NAND.ProgramWL(a, pages, p)
+			res, err := dh.NAND.ProgramWLOOB(a, pages, oob, p)
 			if d.hub != nil && res.LatencyNs > 0 {
 				d.hub.Event(telemetry.PidNAND, die, "tPROG", d.eng.Now(), res.LatencyNs,
 					map[string]int64{"block": int64(a.Block), "loops": int64(res.Loops)})
@@ -377,11 +403,18 @@ func (d *Device) Program(die int, a nand.Address, pages [][]byte, p nand.Program
 				})
 				return
 			}
+			// The NAND mutation is committed but the ISPP latency window
+			// is still open: a power cut before the completion callback
+			// leaves this word line partially programmed.
+			id := d.trackOp(MediaOp{Kind: MediaProgram, Die: die, Addr: a})
 			segments := 1
 			if d.cfg.SuspendOps && res.Loops > 1 {
 				segments = res.Loops
 			}
-			d.holdSegmentedAcquired(plane, res.LatencyNs, segments, func() { done(res, nil) })
+			d.holdSegmentedAcquired(plane, res.LatencyNs, segments, func() {
+				d.untrackOp(id)
+				done(res, nil)
+			})
 		})
 	})
 }
@@ -406,12 +439,58 @@ func (d *Device) Erase(die, block int, done func(res nand.EraseResult, err error
 			})
 			return
 		}
+		id := d.trackOp(MediaOp{Kind: MediaErase, Die: die, Block: block})
 		segments := 1
 		if d.cfg.SuspendOps {
 			segments = 8
 		}
-		d.holdSegmentedAcquired(plane, res.LatencyNs, segments, func() { done(res, nil) })
+		d.holdSegmentedAcquired(plane, res.LatencyNs, segments, func() {
+			d.untrackOp(id)
+			done(res, nil)
+		})
 	})
+}
+
+// MediaOpKind distinguishes in-flight media mutations.
+type MediaOpKind int
+
+const (
+	MediaProgram MediaOpKind = iota
+	MediaErase
+)
+
+// MediaOp describes one in-flight media mutation: the NAND state has
+// changed, the completion callback has not yet run. Addr is set for
+// programs, Block for erases.
+type MediaOp struct {
+	Kind  MediaOpKind
+	Die   int
+	Addr  nand.Address
+	Block int
+}
+
+func (d *Device) trackOp(op MediaOp) int64 {
+	d.opSeq++
+	d.inflight[d.opSeq] = op
+	return d.opSeq
+}
+
+func (d *Device) untrackOp(id int64) { delete(d.inflight, id) }
+
+// InflightMediaOps returns the media operations currently inside their
+// latency windows, in issue order. A power cut at this instant
+// interrupts exactly these operations.
+func (d *Device) InflightMediaOps() []MediaOp {
+	ids := make([]int64, 0, len(d.inflight))
+	for id := range d.inflight {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ops := make([]MediaOp, len(ids))
+	for i, id := range ids {
+		ops[i] = d.inflight[id]
+	}
+	return ops
 }
 
 // holdSegmentedAcquired occupies an already-acquired die for total

@@ -65,6 +65,12 @@ type MultiRunConfig struct {
 	// command targets an idle NAND die are preferred (no-op with a
 	// single queue; see host.Config.DieAffinity).
 	DieAffinity bool
+	// DeadlineNs, when positive, stops the run at that absolute sim
+	// time regardless of request budgets and skips the drain — the
+	// device is left mid-flight with buffered writes, in-flight
+	// programs, and possibly active GC. This is how the power-cut
+	// tests park the device at the cut instant.
+	DeadlineNs sim.Time
 }
 
 // TenantResult is one tenant's view of a multi-queue run.
@@ -216,16 +222,21 @@ func RunTenants(ctrl *ftl.Controller, specs []TenantSpec, cfg MultiRunConfig) (M
 	for _, d := range drivers {
 		d.pump()
 	}
-	eng.RunWhile(func() bool {
-		for _, d := range drivers {
-			if !d.done() {
-				return true
+	if cfg.DeadlineNs > 0 {
+		// Deadline mode: halt mid-flight at the cut instant, no drain.
+		eng.RunUntil(cfg.DeadlineNs)
+	} else {
+		eng.RunWhile(func() bool {
+			for _, d := range drivers {
+				if !d.done() {
+					return true
+				}
 			}
-		}
-		return false
-	})
-	// Quiesce buffered state so back-to-back runs start clean.
-	eng.RunWhile(func() bool { return !ctrl.Drained() })
+			return false
+		})
+		// Quiesce buffered state so back-to-back runs start clean.
+		eng.RunWhile(func() bool { return !ctrl.Drained() })
+	}
 
 	out := MultiResult{TraceHash: h.TraceHash(), Grants: h.Grants()}
 	for i := range specs {

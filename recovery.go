@@ -1,0 +1,201 @@
+package cubeftl
+
+// Crash-consistency facade (DESIGN.md §12): power-cut injection and
+// the recovery mount. Enable with Options.Recovery; the flash array
+// and the checkpointed system area survive PowerCut, everything else
+// (engine, controller, buffered writes, in-flight programs) is lost,
+// and Remount rebuilds the device from the durable state alone.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cubeftl/internal/host"
+	"cubeftl/internal/recovery"
+	"cubeftl/internal/sim"
+	"cubeftl/internal/ssd"
+	"cubeftl/internal/workload"
+)
+
+// ErrRecoveryOff reports a recovery API called on an SSD built without
+// Options.Recovery.
+var ErrRecoveryOff = errors.New("cubeftl: recovery not enabled (set Options.Recovery)")
+
+// RecoveryEnabled reports whether the SSD runs the crash-consistency
+// subsystem.
+func (s *SSD) RecoveryEnabled() bool { return s.mgr != nil }
+
+// CheckpointNow requests an immediate checkpoint (it still takes
+// simulated time to write; a power cut during the write leaves the
+// previous checkpoint slot intact).
+func (s *SSD) CheckpointNow() error {
+	if s.mgr == nil {
+		return ErrRecoveryOff
+	}
+	s.mgr.CheckpointNow()
+	return nil
+}
+
+// AckedWrites returns how many distinct logical pages currently hold a
+// durably-acknowledged write — the set Remount's verifier audits.
+func (s *SSD) AckedWrites() int {
+	if s.mgr == nil || s.mgr.Ledger() == nil {
+		return 0
+	}
+	return s.mgr.Ledger().Writes()
+}
+
+// PowerCut kills the device at the current simulated instant: buffered
+// writes that never reached flash are dropped, in-flight word-line
+// programs are torn mid-ISPP, an in-flight erase leaves the block
+// half-erased, and only a prefix of the un-flushed journal reaches the
+// system area. The SSD rejects further I/O until Remount.
+func (s *SSD) PowerCut() error {
+	if s.mgr == nil {
+		return ErrRecoveryOff
+	}
+	s.mgr.PowerCut()
+	return nil
+}
+
+// MountReport summarizes one recovery mount (facade view of the
+// internal report; see DESIGN.md §12 for the mount state machine).
+type MountReport struct {
+	// MountTime is the modeled mount latency: checkpoint read, journal
+	// replay, free-pool probes, OOB scans, and evacuation I/O.
+	MountTime time.Duration
+	// UsedCheckpoint is false for a full-scan mount.
+	UsedCheckpoint bool
+	// CheckpointAge is how stale the newest checkpoint was when power
+	// died (0 on full scan).
+	CheckpointAge time.Duration
+
+	JournalRecords int  // valid journal records replayed
+	JournalTorn    bool // the journal tail failed framing/CRC
+
+	BlocksProbed      int // free-pool probes (one word-line read each)
+	DiscoveredBlocks  int // blocks found programmed that durable state called free
+	OOBPagesScanned   int // spare-area records read during roll-forward
+	MappingsRecovered int // live L2P entries after the mount
+	RollForwardWins   int // mappings recovered from OOB past the durable state
+	EvacuationsQueued int // retired-with-live blocks evacuated at mount
+
+	// Verified is true when the full-device verifier ran and passed:
+	// internal consistency, L2P <-> OOB agreement, payload integrity
+	// (with Options.VerifyData), and zero lost acked writes.
+	Verified bool
+}
+
+// Remount rebuilds the SSD after a power cut: a fresh controller mounts
+// from the newest valid checkpoint, replays the journal, roll-forward
+// scans open blocks' spare areas, and re-arms the write points.
+// fullScan ignores the checkpoint and journal and rebuilds from OOB
+// metadata alone (the worst-case mount). verify then runs the
+// full-device consistency audit — including that every write
+// acknowledged to the host before the cut is still readable — and
+// fails the remount if any check trips. Telemetry does not survive a
+// remount; re-enable it afterwards if needed.
+func (s *SSD) Remount(verify, fullScan bool) (MountReport, error) {
+	if s.mgr == nil {
+		return MountReport{}, ErrRecoveryOff
+	}
+	eng := sim.NewEngine()
+	// The NAND array is the durable medium: data, OOB, wear, grown bad
+	// blocks, and fault-injection streams all live there and carry over.
+	dev := ssd.NewWithArray(eng, s.dev.Config(), s.dev.Array())
+	pol, cube, err := newPolicy(s.opts.FTL, dev)
+	if err != nil {
+		return MountReport{}, err
+	}
+	ctrl, rpt, err := recovery.Mount(dev, pol, s.ctrlCfg, s.mgr.System(), recovery.MountOptions{
+		ForceFullScan: fullScan,
+	})
+	if err != nil {
+		return MountReport{}, fmt.Errorf("cubeftl: recovery mount: %w", err)
+	}
+	out := MountReport{
+		MountTime:         time.Duration(rpt.MountNs),
+		UsedCheckpoint:    rpt.UsedCheckpoint,
+		CheckpointAge:     time.Duration(rpt.CheckpointAgeNs),
+		JournalRecords:    rpt.JournalRecords,
+		JournalTorn:       rpt.JournalTorn,
+		BlocksProbed:      rpt.BlocksProbed,
+		DiscoveredBlocks:  rpt.DiscoveredBlocks,
+		OOBPagesScanned:   rpt.OOBPagesScanned,
+		MappingsRecovered: rpt.MappingsRecovered,
+		RollForwardWins:   rpt.RollForwardWins,
+		EvacuationsQueued: rpt.EvacuationsQueued,
+	}
+	if verify {
+		if err := recovery.Verify(ctrl, s.mgr.Ledger()); err != nil {
+			return out, fmt.Errorf("cubeftl: post-mount verification: %w", err)
+		}
+		out.Verified = true
+	}
+	s.eng, s.dev, s.ctrl, s.cube = eng, dev, ctrl, cube
+	s.hub, s.sampler = nil, nil
+	s.outstanding = 0
+	s.mgr = recovery.Attach(ctrl, s.mgr.System(), recovery.Options{
+		CkptIntervalNs: sim.Time(s.opts.CkptInterval),
+		Ledger:         s.mgr.Ledger(),
+	})
+	return out, nil
+}
+
+// RunWorkloadUntil drives the named workload like RunWorkload but halts
+// the simulation at the given absolute simulated time without draining:
+// buffered writes, in-flight programs, and possibly active GC are left
+// mid-flight. This is the setup for PowerCut — run to the cut instant,
+// cut, then Remount. The returned stats cover the requests that
+// completed before the deadline.
+func (s *SSD) RunWorkloadUntil(name string, requests, queueDepth int, deadline time.Duration) (RunStats, error) {
+	prof, ok := workload.ByName(name)
+	if !ok {
+		return RunStats{}, fmt.Errorf("cubeftl: unknown workload %q (have %v)", name, Workloads())
+	}
+	if requests <= 0 {
+		requests = workload.DefaultRunConfig().Requests
+	}
+	if queueDepth <= 0 {
+		queueDepth = workload.DefaultRunConfig().QueueDepth
+	}
+	gen := workload.NewStream(prof, s.ctrl.LogicalPages(), s.dev.Config().Seed+0xABCD)
+	mr, err := workload.RunTenants(s.ctrl, []workload.TenantSpec{{
+		Gen:      gen,
+		Requests: requests,
+		Queue:    host.QueueConfig{Tenant: gen.Name(), Depth: queueDepth},
+	}}, workload.MultiRunConfig{DispatchWidth: queueDepth, DeadlineNs: sim.Time(deadline)})
+	if err != nil {
+		return RunStats{}, err
+	}
+	t := mr.Tenants[0]
+	st := s.ctrl.Stats()
+	return RunStats{
+		Requests:       t.Requests,
+		Elapsed:        time.Duration(t.ElapsedNs),
+		IOPS:           t.IOPS(),
+		ReadP50:        time.Duration(t.ReadLat.Percentile(50)),
+		ReadP90:        time.Duration(t.ReadLat.Percentile(90)),
+		ReadP99:        time.Duration(t.ReadLat.Percentile(99)),
+		WriteP50:       time.Duration(t.WriteLat.Percentile(50)),
+		WriteP90:       time.Duration(t.WriteLat.Percentile(90)),
+		WriteP99:       time.Duration(t.WriteLat.Percentile(99)),
+		MeanTPROG:      time.Duration(st.MeanTPROGNs()),
+		ReadRetries:    st.ReadRetries,
+		GCRuns:         st.GCCount,
+		Reprograms:     st.Reprograms,
+		BufferHits:     st.BufferHits,
+		DataMismatches: st.DataMismatches,
+
+		ProgramFailures: st.ProgramFailures,
+		EraseFailures:   st.EraseFailures,
+		ReadFaults:      st.ReadFaults,
+		RetiredBlocks:   st.RetiredBlocks,
+		FaultRecoveries: st.FaultRecoveries,
+		WriteRejects:    st.WriteRejects,
+		DegradedDies:    st.DegradedDies,
+		FencedPrograms:  st.FencedPrograms,
+		TraceHash:       mr.TraceHash,
+	}, nil
+}
