@@ -2,9 +2,9 @@
 # long tests hide behind -short here; `make soak` runs them in full.
 GO ?= go
 
-.PHONY: tier1 build vet test race race-core bench-scale bench-telemetry bench-json trace-demo soak figures demo clean
+.PHONY: tier1 build vet test race race-core bench-scale bench-telemetry bench-json trace-demo soak soak-short figures demo clean
 
-tier1: build vet race race-core
+tier1: build vet race race-core soak-short
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,10 @@ race:
 # Full (non-short) race run over the concurrency-sensitive core: the
 # event engine, the FTL (per-die degraded transitions), the multi-queue
 # host front end, the crash-consistency subsystem (power-cut sweep),
-# and the telemetry registry/tracer.
+# the telemetry registry/tracer, and the network block service (live
+# concurrent clients against the single-threaded core).
 race-core:
-	$(GO) test -race ./internal/sim ./internal/ftl ./internal/host ./internal/recovery ./internal/telemetry
+	$(GO) test -race ./internal/sim ./internal/ftl ./internal/host ./internal/recovery ./internal/telemetry ./internal/server
 
 # Multi-die scaling gate: fails if a 2x4 backend delivers less than
 # 1.5x the single-die Mixed IOPS (or if same-seed replay diverges).
@@ -49,6 +50,14 @@ bench-json:
 trace-demo:
 	$(GO) run ./cmd/cubesim -workload Mixed -requests 8000 -qd 16 \
 		-killdie 3 -trace-out trace.json -stats-out stats.jsonl -breakdown
+
+# Live-traffic chaos soak, tier-1 sized (<= 60s wall): a real cubeserved
+# instance, 6 concurrent TCP clients, fault injection on, die kill and
+# power cuts mid-traffic. Exits non-zero on any acked-write loss, stuck
+# client, or failed recovery verification. -ab runs static weights then
+# the SLO controller and prints the protected tenant's p99 both ways.
+soak-short:
+	$(GO) run ./cmd/soak -ab -dur 5s -clients 6 -cuts 2 -killdie 1 -slo-target 300us
 
 # Full suite including the fault-injection chaos soak.
 soak:

@@ -12,14 +12,42 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cubeftl"
 	"cubeftl/internal/experiment"
 	"cubeftl/internal/workload"
 )
+
+// Graceful shutdown: SIGINT/SIGTERM stops the suite at the next
+// scenario boundary (interrupting a facade run already in flight) and
+// still writes the report, marked partial, so a cancelled run leaves a
+// valid artifact instead of a truncated file.
+var (
+	stopping atomic.Bool
+	current  atomic.Pointer[cubeftl.SSD]
+)
+
+func watchSignals() {
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "\nbenchjson: signal — finishing current scenario and writing a partial report")
+		stopping.Store(true)
+		if dev := current.Load(); dev != nil {
+			dev.Interrupt()
+		}
+		<-sigc
+		fmt.Fprintln(os.Stderr, "benchjson: forced exit")
+		os.Exit(1)
+	}()
+}
 
 // BenchResult is one scenario's measurement. Latencies are simulated
 // nanoseconds; WallMs is real time spent running the scenario.
@@ -43,6 +71,10 @@ type BenchReport struct {
 	Seed          uint64 `json:"seed"`
 
 	Benches []BenchResult `json:"benches"`
+
+	// Partial marks a report cut short by SIGINT/SIGTERM: the scenarios
+	// present are valid, the absent ones never ran.
+	Partial bool `json:"partial,omitempty"`
 
 	// ScaleSpeedup2x4 is the 2x4 over 1x1 Mixed IOPS ratio (the
 	// bench-scale gate expects >= 1.5). TelemetryOverheadPct is the
@@ -92,6 +124,8 @@ func runTelemetry(name string, enable bool, requests int, seed uint64) (BenchRes
 	if err != nil {
 		return BenchResult{}, err
 	}
+	current.Store(dev)
+	defer current.Store(nil)
 	dev.Prefill(int64(dev.LogicalPages()) * 6 / 10)
 	dev.ResetStats()
 	if enable {
@@ -106,6 +140,9 @@ func runTelemetry(name string, enable bool, requests int, seed uint64) (BenchRes
 		return BenchResult{}, err
 	}
 	wall := time.Since(start)
+	if dev.Interrupted() {
+		dev.Quiesce() // drain so the partial percentiles are settled
+	}
 	if enable {
 		if err := dev.CloseStats(); err != nil {
 			return BenchResult{}, err
@@ -130,6 +167,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed shared by every scenario")
 	flag.Parse()
 
+	watchSignals()
 	rep := BenchReport{
 		GeneratedUnix: time.Now().Unix(),
 		GitRev:        gitRev(),
@@ -138,26 +176,35 @@ func main() {
 	}
 
 	single := runScale("scale-mixed-1x1", 1, 1, *requests, *seed)
-	array := runScale("scale-mixed-2x4", 2, 4, *requests, *seed)
-	rep.Benches = append(rep.Benches, single, array)
-	if single.IOPS > 0 {
-		rep.ScaleSpeedup2x4 = array.IOPS / single.IOPS
+	rep.Benches = append(rep.Benches, single)
+	if !stopping.Load() {
+		array := runScale("scale-mixed-2x4", 2, 4, *requests, *seed)
+		rep.Benches = append(rep.Benches, array)
+		if single.IOPS > 0 {
+			rep.ScaleSpeedup2x4 = array.IOPS / single.IOPS
+		}
 	}
 
-	off, err := runTelemetry("telemetry-off-mixed", false, *requests, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if !stopping.Load() {
+		off, err := runTelemetry("telemetry-off-mixed", false, *requests, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep.Benches = append(rep.Benches, off)
+		if !stopping.Load() {
+			on, err := runTelemetry("telemetry-on-mixed", true, *requests, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rep.Benches = append(rep.Benches, on)
+			if off.SimNs > 0 {
+				rep.TelemetryOverheadPct = 100 * (float64(on.SimNs) - float64(off.SimNs)) / float64(off.SimNs)
+			}
+		}
 	}
-	on, err := runTelemetry("telemetry-on-mixed", true, *requests, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	rep.Benches = append(rep.Benches, off, on)
-	if off.SimNs > 0 {
-		rep.TelemetryOverheadPct = 100 * (float64(on.SimNs) - float64(off.SimNs)) / float64(off.SimNs)
-	}
+	rep.Partial = stopping.Load()
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -18,7 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"cubeftl"
@@ -107,6 +109,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	watchSignals(dev)
 	if *record != "" {
 		f, err := os.Create(*record)
 		if err != nil {
@@ -157,6 +160,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		settle(dev)
 		if err := obs.finishTelemetry(dev); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -204,10 +208,39 @@ func main() {
 		fmt.Printf("  PS-aware: %d leaders, %d followers, %d safety rejects, ORT %d hits / %d misses (%d bytes)\n",
 			cs.LeaderPrograms, cs.FollowerPrograms, cs.SafetyRejects, cs.ORTHits, cs.ORTMisses, cs.ORTBytes)
 	}
+	settle(dev)
 	if err := obs.finishTelemetry(dev); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// watchSignals makes SIGINT/SIGTERM stop the simulation at the next
+// event boundary instead of killing the process mid-state: the run
+// loops return early with partial results, writers flush, and settle
+// checkpoints the device. A second signal force-exits.
+func watchSignals(dev *cubeftl.SSD) {
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "\ncubesim: signal — stopping at the next event boundary (signal again to force)")
+		dev.Interrupt()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "cubesim: forced exit")
+		os.Exit(1)
+	}()
+}
+
+// settle finishes an interrupted run gracefully: drain in-flight I/O,
+// flush the journal, and (with recovery enabled) write a final
+// checkpoint so the next mount starts clean.
+func settle(dev *cubeftl.SSD) {
+	if !dev.Interrupted() {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "cubesim: interrupted — results above are partial; draining and checkpointing")
+	dev.Quiesce()
 }
 
 // runPowerCut drives the named workload to the cut instant, kills the

@@ -258,8 +258,10 @@ func (s *SSD) CapacityBytes() int64 { return int64(s.ctrl.LogicalPages()) * 16 *
 // Now returns the current simulated time.
 func (s *SSD) Now() time.Duration { return time.Duration(s.eng.Now()) }
 
-// ErrBadLPN reports an out-of-range logical page number.
-var ErrBadLPN = errors.New("cubeftl: LPN out of range")
+// ErrBadLPN reports an out-of-range logical page number. Alias of the
+// internal FTL error so errors.Is works across the facade regardless
+// of which layer rejected the LPN.
+var ErrBadLPN = ftl.ErrBadLPN
 
 // ErrDegraded reports a write rejected because the device has dropped
 // to read-only degraded mode (free-block exhaustion from grown bad

@@ -1,0 +1,217 @@
+package cubeftl
+
+// Persistent multi-queue front end (DESIGN.md §13). RunTenants builds a
+// host interface, drives it with synthetic generators, and tears it
+// down; a live block server instead needs queue pairs that outlive any
+// one request stream, accept externally-generated I/O, and expose the
+// QoS knobs online. AttachFrontEnd provides exactly that: the same
+// NVMe-style SQ/CQ host layer, owned by the caller.
+
+import (
+	"fmt"
+	"time"
+
+	"cubeftl/internal/ftl"
+	"cubeftl/internal/host"
+	"cubeftl/internal/ssd"
+)
+
+// QueueSpec describes one tenant queue pair of a persistent front end.
+type QueueSpec struct {
+	// Name labels the tenant (defaults to "q<index>").
+	Name string
+	// Depth bounds outstanding commands; submissions beyond it fail
+	// with ErrQueueFull (default 32).
+	Depth int
+	// Weight is the WRR share (>= 1; "wrr" arbiter).
+	Weight int
+	// Priority is the strict-priority class ("prio" arbiter).
+	Priority int
+	// RateIOPS token-bucket rate limits the tenant; 0 = unlimited.
+	RateIOPS float64
+}
+
+// IOCompletion reports one finished front-end command.
+type IOCompletion struct {
+	// Latency is the host-visible latency: submission-queue wait plus
+	// device service, in simulated time.
+	Latency time.Duration
+	// RejectedPages counts pages a degraded (read-only) device refused;
+	// they complete immediately without touching media.
+	RejectedPages int
+}
+
+// TenantSnapshot is a point-in-time view of one tenant queue, for SLO
+// controllers and operator dashboards. Percentiles are cumulative over
+// the front end's lifetime; latency-window tracking belongs to the
+// consumer (see internal/server's SLO controller).
+type TenantSnapshot struct {
+	Name       string
+	Queue      int
+	Submitted  int64
+	Completed  int64
+	QueueFulls int64
+	Grants     int64
+	Throttles  int64
+	QueueLen   int
+	ReadP99    time.Duration
+	WriteP99   time.Duration
+	Weight     int
+	RateIOPS   float64
+}
+
+// FrontEnd is a persistent NVMe-style multi-queue host interface over
+// the SSD. Like the SSD itself it is single-threaded: all calls must
+// come from the goroutine that owns the simulation. A FrontEnd does not
+// survive Remount — attach a fresh one after recovery.
+type FrontEnd struct {
+	s *SSD
+	h *host.Host
+}
+
+// AttachFrontEnd builds a persistent multi-queue front end over the
+// device with one SQ/CQ pair per spec, arbitrated by arb (ArbRR,
+// ArbWRR, ArbPrio). dispatchWidth bounds commands concurrently
+// outstanding at the device across all queues (0 = sum of depths).
+func (s *SSD) AttachFrontEnd(queues []QueueSpec, arb string, dispatchWidth int) (*FrontEnd, error) {
+	if len(queues) == 0 {
+		return nil, host.ErrNoQueues
+	}
+	arbiter, err := host.NewArbiter(arb, int64(DefaultStarvationGuard))
+	if err != nil {
+		return nil, err
+	}
+	qcs := make([]host.QueueConfig, len(queues))
+	for i, q := range queues {
+		qcs[i] = host.QueueConfig{
+			Tenant:   q.Name,
+			Depth:    q.Depth,
+			Weight:   q.Weight,
+			Priority: q.Priority,
+			RateIOPS: q.RateIOPS,
+		}
+	}
+	h, err := host.New(s.ctrl, host.Config{
+		Queues:        qcs,
+		Arb:           arbiter,
+		DispatchWidth: dispatchWidth,
+		DieAffinity:   s.dieAffinity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FrontEnd{s: s, h: h}, nil
+}
+
+// Submit enqueues one command (write=false reads) of pages consecutive
+// logical pages starting at lpn into the tenant's queue. done (optional)
+// runs in simulated time when the command completes — under
+// Options.Recovery a write completes only once its mapping record is
+// durable, so done doubles as the durable-ack signal. Errors are
+// synchronous admission failures: ErrQueueFull (retryable), ErrBadQueue
+// or ErrBadLPN (terminal).
+func (f *FrontEnd) Submit(queue int, write bool, lpn int64, pages int, done func(IOCompletion)) error {
+	if pages < 1 {
+		pages = 1
+	}
+	if lpn < 0 || lpn+int64(pages) > int64(f.s.ctrl.LogicalPages()) {
+		return fmt.Errorf("%w: [%d, %d)", ErrBadLPN, lpn, lpn+int64(pages))
+	}
+	op := host.Read
+	if write {
+		op = host.Write
+	}
+	var cb func(host.Completion)
+	if done != nil {
+		cb = func(c host.Completion) {
+			done(IOCompletion{
+				Latency:       time.Duration(c.LatencyNs),
+				RejectedPages: c.RejectedPages,
+			})
+		}
+	}
+	return f.h.Submit(queue, host.Command{Op: op, LPN: lpn, Pages: pages, Done: cb})
+}
+
+// Outstanding returns commands submitted but not yet completed.
+func (f *FrontEnd) Outstanding() int { return f.h.Outstanding() }
+
+// Pump advances the simulation until every submitted command has
+// completed and the controller has quiesced, delivering completions
+// along the way. A live server calls this after each submission batch.
+func (f *FrontEnd) Pump() { f.h.Drain() }
+
+// PumpTo advances the simulation only until at most target commands
+// remain outstanding, preserving a standing backlog so tenants contend
+// for grants. Call Pump (full drain) once traffic stops arriving.
+func (f *FrontEnd) PumpTo(target int) { f.h.DrainTo(target) }
+
+// SetWeight changes a tenant's WRR weight online (clamped to >= 1).
+func (f *FrontEnd) SetWeight(queue, weight int) error { return f.h.SetWeight(queue, weight) }
+
+// SetRate changes a tenant's IOPS cap online (0 removes the cap).
+func (f *FrontEnd) SetRate(queue int, iops float64) error { return f.h.SetRate(queue, iops) }
+
+// Snapshot returns a point-in-time view of every tenant queue.
+func (f *FrontEnd) Snapshot() []TenantSnapshot {
+	samples := f.h.TenantSamples()
+	out := make([]TenantSnapshot, len(samples))
+	for i, ts := range samples {
+		st := f.h.Stats(i)
+		out[i] = TenantSnapshot{
+			Name:       ts.Name,
+			Queue:      i,
+			Submitted:  st.Submitted,
+			Completed:  st.Completed,
+			QueueFulls: st.QueueFulls,
+			Grants:     st.Grants,
+			Throttles:  st.Throttles,
+			QueueLen:   ts.QueueLen,
+			ReadP99:    time.Duration(ts.ReadP99),
+			WriteP99:   time.Duration(ts.WriteP99),
+			Weight:     f.h.Weight(i),
+			RateIOPS:   f.h.Rate(i),
+		}
+	}
+	return out
+}
+
+// TraceHash returns the FNV-1a hash over the arbitration grant
+// sequence — equal hashes mean bit-identical scheduling.
+func (f *FrontEnd) TraceHash() uint64 { return f.h.TraceHash() }
+
+// IsMapped reports whether lpn currently holds a written page — the
+// probe behind the block server's StatLPN operation and the soak
+// harness's acked-write audit.
+func (s *SSD) IsMapped(lpn int64) (bool, error) {
+	if lpn < 0 || lpn >= int64(s.ctrl.LogicalPages()) {
+		return false, fmt.Errorf("%w: %d", ErrBadLPN, lpn)
+	}
+	return s.ctrl.Mapper().Lookup(ftl.LPN(lpn)) != ssd.UnmappedPPN, nil
+}
+
+// Interrupt asks the simulation to halt at the next event boundary. It
+// is the one SSD method safe to call from another goroutine: signal
+// handlers use it so Ctrl-C stops a long run in a consistent state that
+// Quiesce can then checkpoint. The run-loop call in progress returns
+// early; ClearInterrupt (called by Quiesce) re-arms the engine.
+func (s *SSD) Interrupt() { s.eng.Interrupt() }
+
+// Interrupted reports whether Interrupt has been called and not yet
+// cleared by Quiesce.
+func (s *SSD) Interrupted() bool { return s.eng.Interrupted() }
+
+// Quiesce re-arms an interrupted engine, drains all in-flight facade
+// I/O and buffered writes, and — with Options.Recovery — flushes the
+// journal and writes a final checkpoint, running the simulation until
+// the system area is fully durable. After Quiesce a process can exit
+// knowing the next Mount starts from a zero-age checkpoint. Front-end
+// commands are not drained here; call FrontEnd.Pump first.
+func (s *SSD) Quiesce() {
+	s.eng.ClearInterrupt()
+	s.eng.RunWhile(func() bool { return s.outstanding > 0 || !s.ctrl.Drained() })
+	if s.mgr != nil {
+		s.mgr.CheckpointNow()
+		s.eng.RunWhile(func() bool { return !s.mgr.Quiesced() })
+	}
+}

@@ -98,8 +98,12 @@ func (c *Controller) CheckConsistency() error {
 			if c.isActive(chip, b) {
 				return fmt.Errorf("ftl: retired block %d on chip %d is an active write point", b, chip)
 			}
-			if c.degraded || c.gcActive[chip] || evacuating[b] {
-				continue // evacuation in flight or abandoned at degradation
+			if c.degraded || c.dieDegraded[chip] || c.gcActive[chip] || evacuating[b] {
+				// Evacuation in flight, or abandoned for good: a fenced
+				// (read-only) die can never program the relocation
+				// targets, so its retired blocks keep serving their live
+				// pages in place.
+				continue
 			}
 			if v := c.mapper.ValidCount(chip, b); v != 0 {
 				return fmt.Errorf("ftl: retired block %d on chip %d still holds %d live pages", b, chip, v)

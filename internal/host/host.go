@@ -316,6 +316,49 @@ func (h *Host) Outstanding() int {
 	return n
 }
 
+// SetWeight changes queue qid's WRR weight online (clamped to >= 1).
+// The next arbitration decision sees the new weight — this is the knob
+// an SLO controller turns to re-divide device bandwidth between live
+// tenants without draining or rebuilding the host.
+func (h *Host) SetWeight(qid, weight int) error {
+	if qid < 0 || qid >= len(h.queues) {
+		return fmt.Errorf("%w: %d (have %d)", ErrBadQueue, qid, len(h.queues))
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	h.queues[qid].cfg.Weight = weight
+	return nil
+}
+
+// SetRate changes queue qid's token-bucket IOPS cap online (0 removes
+// the cap). Enabling a cap starts the bucket full so the change
+// throttles the future rate without retroactively debiting past I/O.
+func (h *Host) SetRate(qid int, iops float64) error {
+	if qid < 0 || qid >= len(h.queues) {
+		return fmt.Errorf("%w: %d (have %d)", ErrBadQueue, qid, len(h.queues))
+	}
+	q := h.queues[qid]
+	if iops == q.cfg.RateIOPS {
+		return nil
+	}
+	q.cfg.RateIOPS = iops
+	if iops > 0 {
+		q.burst = float64(q.cfg.BurstIOs)
+		q.tokens = q.burst
+		q.lastRefill = h.eng.Now()
+	}
+	// A removed or loosened cap may unblock the queue immediately.
+	h.pump()
+	return nil
+}
+
+// Weight returns queue qid's current WRR weight.
+func (h *Host) Weight(qid int) int { return h.queues[qid].cfg.Weight }
+
+// Rate returns queue qid's current IOPS cap (0 = uncapped).
+func (h *Host) Rate(qid int) float64 { return h.queues[qid].cfg.RateIOPS }
+
 // Submit accepts a command into queue q, or rejects it with
 // ErrQueueFull (the queue is at depth) / ErrBadQueue. Completion is
 // delivered through cmd.Done in simulated time; advance the engine
@@ -353,6 +396,18 @@ func (h *Host) Submit(qid int, cmd Command) error {
 func (h *Host) Drain() {
 	h.eng.RunWhile(func() bool { return h.Outstanding() > 0 })
 	h.eng.RunWhile(func() bool { return !h.ctrl.Drained() })
+}
+
+// DrainTo advances the simulation only until at most target commands
+// remain outstanding. A live server uses it to keep a standing backlog
+// while traffic is still arriving — so tenants genuinely contend for
+// arbitration grants — and falls back to Drain once the source goes
+// quiet.
+func (h *Host) DrainTo(target int) {
+	if target < 0 {
+		target = 0
+	}
+	h.eng.RunWhile(func() bool { return h.Outstanding() > target })
 }
 
 // pump runs the dispatch loop, flattening reentrant calls (a command

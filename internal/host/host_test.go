@@ -334,3 +334,80 @@ func TestHostDeterministicReplay(t *testing.T) {
 		t.Fatalf("replay diverged: hash %x/%x p99 %d/%d %d/%d", h1, h2, a1, a2, b1, b2)
 	}
 }
+
+func TestOnlineWeightAndRateChanges(t *testing.T) {
+	ctrl := newTestController(11)
+	h, err := New(ctrl, Config{
+		Queues: []QueueConfig{
+			{Tenant: "a", Depth: 8, Weight: 1},
+			{Tenant: "b", Depth: 8, Weight: 1},
+		},
+		Arb:           NewWeightedRoundRobin(),
+		DispatchWidth: 1,
+		TraceCap:      64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetWeight(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetWeight(1, 0); err != nil { // clamps to 1
+		t.Fatal(err)
+	}
+	if h.Weight(0) != 8 || h.Weight(1) != 1 {
+		t.Fatalf("weights = %d/%d, want 8/1", h.Weight(0), h.Weight(1))
+	}
+	if err := h.SetWeight(7, 1); !errors.Is(err, ErrBadQueue) {
+		t.Fatalf("SetWeight on bad queue: %v", err)
+	}
+	if err := h.SetRate(9, 100); !errors.Is(err, ErrBadQueue) {
+		t.Fatalf("SetRate on bad queue: %v", err)
+	}
+
+	// Saturate both queues; the online 8:1 weights must shape grants.
+	submit := func(qid, n int) {
+		for i := 0; i < n; i++ {
+			lpn := int64(qid*1000 + i)
+			if err := h.Submit(qid, Command{Op: Write, LPN: lpn}); err != nil {
+				t.Fatalf("submit q%d: %v", qid, err)
+			}
+		}
+	}
+	submit(0, 8)
+	submit(1, 8)
+	h.Drain()
+	// With online weights 8:1 the first WRR cycle grants q0 eight times
+	// before q1's single credit; count q0 wins among the first 8 grants.
+	trace := h.Trace()
+	q0Early := 0
+	for _, qid := range trace[:8] {
+		if qid == 0 {
+			q0Early++
+		}
+	}
+	if q0Early < 7 {
+		t.Fatalf("online weight had no effect: first 8 grants %v", trace[:8])
+	}
+
+	// A rate cap applied online must throttle, and removing it must not.
+	if err := h.SetRate(1, 1000); err != nil { // 1k IOPS: ~1ms per token
+		t.Fatal(err)
+	}
+	submit(1, 8) // consumes the initially-full burst bucket
+	h.Drain()
+	submit(1, 8) // bucket nearly empty: fetches must wait on refill
+	h.Drain()
+	if h.Stats(1).Throttles == 0 {
+		t.Fatal("online rate cap produced no throttles")
+	}
+	throttled := h.Stats(1).Throttles
+	if err := h.SetRate(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	submit(1, 8)
+	h.Drain()
+	if h.Stats(1).Throttles != throttled {
+		t.Fatalf("uncapped queue kept throttling: %d -> %d", throttled, h.Stats(1).Throttles)
+	}
+}

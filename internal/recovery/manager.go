@@ -116,6 +116,16 @@ func (m *Manager) CkptWindows() [][2]sim.Time {
 // StateBytes returns the newest durable checkpoint image.
 func (m *Manager) StateBytes() []byte { return m.sys.StateBytes() }
 
+// Quiesced reports whether the system area is fully durable: no journal
+// bytes staged in RAM or mid-flush and no checkpoint write in flight. A
+// graceful shutdown runs the engine until Quiesced holds (after
+// CheckpointNow) so the next mount starts from a zero-age checkpoint.
+// A dead (power-cut) manager counts as quiesced — there is nothing
+// left it could make durable.
+func (m *Manager) Quiesced() bool {
+	return m.dead || (!m.ckptBusy && !m.flushing && len(m.ram) == 0)
+}
+
 // durablePoint is the absolute journal offset below which every fact
 // is durable — covered either by flushed journal bytes or by the
 // newest valid checkpoint (whose snapshot subsumes all earlier

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrips(t *testing.T) {
+	hello := Hello{ClientID: 42, Tenant: "lat"}
+	frame, err := AppendHello(nil, hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadFrame(bytes.NewReader(frame), nil)
+	if err != nil || typ != MsgHello {
+		t.Fatalf("ReadFrame: typ %d err %v", typ, err)
+	}
+	if got, err := ParseHello(body); err != nil || got != hello {
+		t.Fatalf("hello round trip: %+v err %v", got, err)
+	}
+
+	ack := HelloAck{Status: StatusOK, ClientID: 7, CapacityPages: 1 << 20, Queue: 3}
+	typ, body, err = ReadFrame(bytes.NewReader(AppendHelloAck(nil, ack)), nil)
+	if err != nil || typ != MsgHelloAck {
+		t.Fatalf("ReadFrame: typ %d err %v", typ, err)
+	}
+	if got, err := ParseHelloAck(body); err != nil || got != ack {
+		t.Fatalf("hello ack round trip: %+v err %v", got, err)
+	}
+
+	req := IORequest{Op: OpWrite, Seq: 9, AckFloor: 4, LPN: 12345, Pages: 8}
+	typ, body, err = ReadFrame(bytes.NewReader(AppendIO(nil, req)), nil)
+	if err != nil || typ != MsgIO {
+		t.Fatalf("ReadFrame: typ %d err %v", typ, err)
+	}
+	if got, err := ParseIO(body); err != nil || got != req {
+		t.Fatalf("io round trip: %+v err %v", got, err)
+	}
+
+	rep := IOReply{Seq: 9, Status: StatusResourceExhausted, Flags: FlagDuplicate, LatencyNs: 314159}
+	typ, body, err = ReadFrame(bytes.NewReader(AppendIOReply(nil, rep)), nil)
+	if err != nil || typ != MsgIOReply {
+		t.Fatalf("ReadFrame: typ %d err %v", typ, err)
+	}
+	if got, err := ParseIOReply(body); err != nil || got != rep {
+		t.Fatalf("io reply round trip: %+v err %v", got, err)
+	}
+
+	typ, body, err = ReadFrame(bytes.NewReader(AppendGoingDown(nil, DownRestart)), nil)
+	if err != nil || typ != MsgGoingDown {
+		t.Fatalf("ReadFrame: typ %d err %v", typ, err)
+	}
+	if reason, err := ParseGoingDown(body); err != nil || reason != DownRestart {
+		t.Fatalf("going down round trip: %d err %v", reason, err)
+	}
+}
+
+func TestFrameStreamsConcatenate(t *testing.T) {
+	var stream []byte
+	stream, _ = AppendHello(stream, Hello{Tenant: "a"})
+	stream = AppendIO(stream, IORequest{Op: OpRead, Seq: 1, LPN: 2, Pages: 1})
+	stream = AppendIO(stream, IORequest{Op: OpStat, Seq: 2, LPN: 3, Pages: 1})
+	r := bytes.NewReader(stream)
+	var types []byte
+	var buf []byte
+	for {
+		typ, body, err := ReadFrame(r, buf)
+		if err != nil {
+			break
+		}
+		buf = body[:0]
+		types = append(types, typ)
+	}
+	want := []byte{MsgHello, MsgIO, MsgIO}
+	if !bytes.Equal(types, want) {
+		t.Fatalf("stream types %v, want %v", types, want)
+	}
+}
+
+func TestMalformedFrames(t *testing.T) {
+	// Oversized length prefix.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01}
+	if _, _, err := ReadFrame(bytes.NewReader(huge), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+	// Zero-length frame (no type byte).
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}), nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("empty frame: %v", err)
+	}
+	// Truncated bodies.
+	if _, err := ParseHello([]byte{1, 2}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short hello: %v", err)
+	}
+	if _, err := ParseIO(make([]byte, 28)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short io: %v", err)
+	}
+	if _, err := ParseIOReply(make([]byte, 5)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short reply: %v", err)
+	}
+	// Hello whose name length disagrees with the body.
+	bad := make([]byte, 12)
+	bad[8] = 200
+	if _, err := ParseHello(bad); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("bad name length: %v", err)
+	}
+	// Unknown op.
+	io := AppendIO(nil, IORequest{Op: OpRead, Seq: 1, LPN: 0, Pages: 1})
+	io[5] = 99 // op byte sits right after the 4-byte length and 1-byte type
+	if _, err := ParseIO(io[5:]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("unknown op: %v", err)
+	}
+	// Oversized tenant name refused at append time.
+	if _, err := AppendHello(nil, Hello{Tenant: string(make([]byte, 300))}); err == nil {
+		t.Fatal("oversized tenant accepted")
+	}
+}
+
+func TestStatusClassification(t *testing.T) {
+	retryable := []Status{StatusResourceExhausted, StatusUnavailable}
+	terminal := []Status{StatusOK, StatusFailedPrecondition, StatusInvalidArgument, StatusInternal}
+	for _, s := range retryable {
+		if !s.Retryable() {
+			t.Errorf("%v should be retryable", s)
+		}
+	}
+	for _, s := range terminal {
+		if s.Retryable() {
+			t.Errorf("%v should not be retryable", s)
+		}
+	}
+}

@@ -1,0 +1,715 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cubeftl"
+)
+
+// TenantDef declares one tenant of the block service: its queue-pair
+// QoS parameters and (optionally) a read-p99 SLO the online controller
+// enforces.
+type TenantDef struct {
+	Name     string
+	Depth    int     // submission queue depth (default 32)
+	Weight   int     // WRR share (>= 1)
+	Priority int     // strict-priority class ("prio" arbiter)
+	RateIOPS float64 // static token-bucket cap; 0 = unlimited
+	// SLOReadP99 marks the tenant protected: the SLO controller keeps
+	// its windowed read p99 under this bound by escalating its weight
+	// and throttling best-effort tenants. 0 = best-effort.
+	SLOReadP99 time.Duration
+}
+
+// Config assembles a block server.
+type Config struct {
+	// Device configures the simulated SSD. Set Device.Recovery for the
+	// full contract: durable write acks, checkpoint on shutdown, and
+	// PowerCut/Recover support.
+	Device cubeftl.Options
+	// Tenants declares the queue pairs; a client's Hello names one.
+	Tenants []TenantDef
+	// Arbiter is the queue arbitration policy (default ArbWRR).
+	Arbiter string
+	// DispatchWidth bounds commands concurrently outstanding at the
+	// device across all tenants (0 = sum of queue depths).
+	DispatchWidth int
+	// SLO configures the online latency controller.
+	SLO SLOConfig
+	// BatchWindow is how long (wall clock) the core waits after a
+	// request arrives for more to join the batch before advancing the
+	// simulation — NVMe-style doorbell coalescing. Requests that arrive
+	// within one window contend in simulated time the way concurrently
+	// submitted commands contend in a real device. 0 selects 200µs;
+	// negative disables coalescing.
+	BatchWindow time.Duration
+	// PrefillPages sequentially writes this many logical pages before
+	// serving so traffic lands on a steady-state device.
+	PrefillPages int64
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Stats counts server-level events. All fields are owned by the core
+// goroutine; read them through Server.Stats.
+type Stats struct {
+	Conns        int64 // connections accepted over the server's life
+	Sessions     int64 // distinct sessions created
+	Reads        int64
+	Writes       int64
+	Stats        int64 // OpStat probes
+	Duplicates   int64 // write acks satisfied from the dedup window
+	Rejects      int64 // replies with a non-OK, non-duplicate status
+	Unavailables int64 // replies refused because the device was down
+	PowerCuts    int64
+	Recoveries   int64
+}
+
+// session is one client's server-side state: its tenant queue binding
+// and the write-dedup window that makes retries idempotent. Sessions
+// survive disconnects and in-process recovery (they live in server
+// RAM, not on the device); they do not survive a server process
+// restart, which is safe because page writes are idempotent.
+type session struct {
+	id     uint64
+	tenant string
+	queue  int
+
+	// floor is the contiguous-acked high-water mark (client-advanced);
+	// acked holds acked write seqs above it. A write seq in either set
+	// was durably acknowledged and must not be re-executed.
+	floor uint64
+	acked map[uint64]struct{}
+}
+
+func (ss *session) isAcked(seq uint64) bool {
+	if seq <= ss.floor {
+		return true
+	}
+	_, ok := ss.acked[seq]
+	return ok
+}
+
+func (ss *session) ack(seq uint64) {
+	if seq > ss.floor {
+		ss.acked[seq] = struct{}{}
+	}
+}
+
+func (ss *session) prune(floor uint64) {
+	if floor <= ss.floor {
+		return
+	}
+	ss.floor = floor
+	for seq := range ss.acked {
+		if seq <= floor {
+			delete(ss.acked, seq)
+		}
+	}
+}
+
+// request kinds flowing from connection readers to the core.
+const (
+	kindConnect = iota
+	kindDisconnect
+	kindHello
+	kindIO
+)
+
+type request struct {
+	kind  int
+	c     *conn
+	hello Hello
+	io    IORequest
+}
+
+// conn is one client connection. The reader goroutine parses frames
+// into requests; the writer goroutine drains out. sess and closed are
+// owned by the core goroutine.
+type conn struct {
+	nc  net.Conn
+	out chan []byte
+
+	// Core-owned.
+	sess   *session
+	closed bool
+}
+
+// trySend enqueues a frame for the writer, dropping the connection
+// instead of blocking if the client stops draining. Core-only.
+func (s *Server) trySend(c *conn, frame []byte) {
+	if c.closed {
+		return
+	}
+	select {
+	case c.out <- frame:
+	default:
+		s.closeConn(c) // slow consumer: shed it rather than stall the core
+	}
+}
+
+// closeConn tears a connection down. Core-only; idempotent.
+func (s *Server) closeConn(c *conn) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	delete(s.conns, c)
+	close(c.out)
+	c.nc.Close()
+}
+
+// Server is the live-traffic block service. One core goroutine owns
+// the simulated device, its persistent front end, the session table,
+// and the SLO controller; connection goroutines only parse and
+// serialize frames.
+type Server struct {
+	cfg  Config
+	logf func(string, ...any)
+
+	dev     *cubeftl.SSD
+	fe      *cubeftl.FrontEnd
+	slo     *sloController
+	queueOf map[string]int
+
+	ln    net.Listener
+	reqCh chan request
+	ctlCh chan func()
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	// Core-owned.
+	conns      map[*conn]struct{}
+	sessions   map[uint64]*session
+	nextClient uint64
+	up         bool
+	stats      Stats
+
+	// Knob positions captured at power cut, re-applied on recovery.
+	savedWeights []int
+	savedRates   []float64
+}
+
+// New builds the server and its device. Call Start to serve.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("server: at least one tenant required")
+	}
+	if cfg.Arbiter == "" {
+		cfg.Arbiter = cubeftl.ArbWRR
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	dev, err := cubeftl.New(cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PrefillPages > 0 {
+		dev.Prefill(cfg.PrefillPages)
+		dev.ResetStats()
+	}
+	s := &Server{
+		cfg:      cfg,
+		logf:     logf,
+		dev:      dev,
+		queueOf:  make(map[string]int, len(cfg.Tenants)),
+		reqCh:    make(chan request, 1024),
+		ctlCh:    make(chan func(), 16),
+		quit:     make(chan struct{}),
+		conns:    make(map[*conn]struct{}),
+		sessions: make(map[uint64]*session),
+		up:       true,
+	}
+	for i, td := range cfg.Tenants {
+		if td.Name == "" {
+			return nil, fmt.Errorf("server: tenant %d has no name", i)
+		}
+		if _, dup := s.queueOf[td.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate tenant %q", td.Name)
+		}
+		s.queueOf[td.Name] = i
+	}
+	if s.fe, err = s.attachFrontEnd(); err != nil {
+		return nil, err
+	}
+	s.slo = newSLOController(cfg.SLO, s.fe, cfg.Tenants)
+	return s, nil
+}
+
+func (s *Server) attachFrontEnd() (*cubeftl.FrontEnd, error) {
+	specs := make([]cubeftl.QueueSpec, len(s.cfg.Tenants))
+	for i, td := range s.cfg.Tenants {
+		specs[i] = cubeftl.QueueSpec{
+			Name:     td.Name,
+			Depth:    td.Depth,
+			Weight:   td.Weight,
+			Priority: td.Priority,
+			RateIOPS: td.RateIOPS,
+		}
+	}
+	return s.dev.AttachFrontEnd(specs, s.cfg.Arbiter, s.cfg.DispatchWidth)
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and begins serving.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.coreLoop()
+	s.logf("cubeserved: serving %d tenants on %s (%.1f GiB logical)",
+		len(s.cfg.Tenants), ln.Addr(), float64(s.dev.CapacityBytes())/(1<<30))
+	return nil
+}
+
+// Addr returns the bound listen address (after Start).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Device returns the underlying SSD. Touch it only through do() —
+// i.e. from tests that have stopped the server.
+func (s *Server) Device() *cubeftl.SSD { return s.dev }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := &conn{nc: nc, out: make(chan []byte, 256)}
+		s.wg.Add(2)
+		go s.readLoop(c)
+		go s.writeLoop(c)
+	}
+}
+
+func (s *Server) readLoop(c *conn) {
+	defer s.wg.Done()
+	s.enqueue(request{kind: kindConnect, c: c})
+	var buf []byte
+	for {
+		typ, body, err := ReadFrame(c.nc, buf)
+		if err != nil {
+			break
+		}
+		buf = body[:0]
+		switch typ {
+		case MsgHello:
+			h, err := ParseHello(body)
+			if err != nil {
+				s.enqueue(request{kind: kindDisconnect, c: c})
+				return
+			}
+			s.enqueue(request{kind: kindHello, c: c, hello: h})
+		case MsgIO:
+			r, err := ParseIO(body)
+			if err != nil {
+				s.enqueue(request{kind: kindDisconnect, c: c})
+				return
+			}
+			s.enqueue(request{kind: kindIO, c: c, io: r})
+		default:
+			// Unknown client frame: protocol violation.
+			s.enqueue(request{kind: kindDisconnect, c: c})
+			return
+		}
+	}
+	s.enqueue(request{kind: kindDisconnect, c: c})
+}
+
+// enqueue delivers a request unless the server is quitting (the core
+// loop has stopped draining reqCh).
+func (s *Server) enqueue(r request) {
+	select {
+	case s.reqCh <- r:
+	case <-s.quit:
+	}
+}
+
+func (s *Server) writeLoop(c *conn) {
+	defer s.wg.Done()
+	for frame := range c.out {
+		if _, err := c.nc.Write(frame); err != nil {
+			c.nc.Close()
+			// Keep draining so the core's sends never block.
+			for range c.out {
+			}
+			return
+		}
+	}
+}
+
+// coreLoop is the single goroutine that owns the simulation. It
+// alternates between absorbing requests/control ops and pumping the
+// device until all submitted I/O completes.
+func (s *Server) coreLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case fn := <-s.ctlCh:
+			fn()
+		case r := <-s.reqCh:
+			s.handle(r)
+			// Coalesce: wait out the batch window so concurrent clients'
+			// requests land in the same simulated instant, then absorb
+			// everything queued before pumping.
+			if w := s.batchWindow(); w > 0 {
+				timer := time.NewTimer(w)
+			window:
+				for {
+					select {
+					case r := <-s.reqCh:
+						s.handle(r)
+					case fn := <-s.ctlCh:
+						fn()
+					case <-timer.C:
+						break window
+					}
+				}
+			}
+		drain:
+			for {
+				select {
+				case r := <-s.reqCh:
+					s.handle(r)
+				case fn := <-s.ctlCh:
+					fn()
+				default:
+					break drain
+				}
+			}
+			s.pump()
+		}
+	}
+}
+
+// pump advances the simulation, then lets the SLO controller act.
+// While more traffic is already waiting in reqCh it drains only down
+// to a backlog target — keeping tenants contending for grants instead
+// of letting every batch start from an idle device — and quiesces
+// fully once the wire goes quiet (clients are all blocked on replies).
+func (s *Server) pump() {
+	if !s.up || s.fe == nil {
+		return
+	}
+	if s.fe.Outstanding() > 0 {
+		if len(s.reqCh) > 0 {
+			s.fe.PumpTo(s.backlogTarget())
+		} else {
+			s.fe.Pump()
+		}
+	}
+	s.slo.maybeDecide(s.dev.Now())
+}
+
+// batchWindow resolves the configured coalescing window.
+func (s *Server) batchWindow() time.Duration {
+	switch {
+	case s.cfg.BatchWindow < 0:
+		return 0
+	case s.cfg.BatchWindow == 0:
+		return 200 * time.Microsecond
+	}
+	return s.cfg.BatchWindow
+}
+
+// backlogTarget is how many outstanding commands pump leaves in place
+// while traffic is still arriving. It sits below the dispatch width so
+// arrivals stack up behind the arbiter rather than finding it idle.
+func (s *Server) backlogTarget() int {
+	if w := s.cfg.DispatchWidth; w > 1 {
+		return w / 2
+	}
+	return 2
+}
+
+// do runs fn on the core goroutine and waits for it — the only safe
+// way for another goroutine (chaos harness, admin, signal handler) to
+// touch the device.
+func (s *Server) do(fn func()) {
+	done := make(chan struct{})
+	select {
+	case s.ctlCh <- func() { fn(); close(done) }:
+		<-done
+	case <-s.quit:
+	}
+}
+
+func (s *Server) handle(r request) {
+	switch r.kind {
+	case kindConnect:
+		s.conns[r.c] = struct{}{}
+		s.stats.Conns++
+	case kindDisconnect:
+		s.closeConn(r.c)
+	case kindHello:
+		s.handleHello(r.c, r.hello)
+	case kindIO:
+		s.handleIO(r.c, r.io)
+	}
+}
+
+func (s *Server) handleHello(c *conn, h Hello) {
+	qid, ok := s.queueOf[h.Tenant]
+	if !ok {
+		s.trySend(c, AppendHelloAck(nil, HelloAck{Status: StatusInvalidArgument}))
+		return
+	}
+	if !s.up {
+		s.stats.Unavailables++
+		s.trySend(c, AppendHelloAck(nil, HelloAck{Status: StatusUnavailable}))
+		return
+	}
+	id := h.ClientID
+	if id == 0 {
+		s.nextClient++
+		id = s.nextClient
+	} else if id > s.nextClient {
+		// Resume across a server process restart: never re-issue the ID.
+		s.nextClient = id
+	}
+	sess := s.sessions[id]
+	if sess == nil {
+		sess = &session{id: id, tenant: h.Tenant, queue: qid, acked: make(map[uint64]struct{})}
+		s.sessions[id] = sess
+		s.stats.Sessions++
+	}
+	// A resumed session keeps its dedup window; the tenant binding
+	// follows the client's current Hello.
+	sess.tenant, sess.queue = h.Tenant, qid
+	c.sess = sess
+	s.trySend(c, AppendHelloAck(nil, HelloAck{
+		Status:        StatusOK,
+		ClientID:      id,
+		CapacityPages: int64(s.dev.LogicalPages()),
+		Queue:         uint32(qid),
+	}))
+}
+
+func (s *Server) handleIO(c *conn, r IORequest) {
+	sess := c.sess
+	if sess == nil {
+		s.closeConn(c) // I/O before Hello: protocol violation
+		return
+	}
+	sess.prune(r.AckFloor)
+	if !s.up {
+		s.stats.Unavailables++
+		s.trySend(c, AppendIOReply(nil, IOReply{Seq: r.Seq, Status: StatusUnavailable}))
+		return
+	}
+	pages := int(r.Pages)
+	if pages < 1 {
+		pages = 1
+	}
+	switch r.Op {
+	case OpStat:
+		s.stats.Stats++
+		mapped, err := s.dev.IsMapped(r.LPN)
+		rep := IOReply{Seq: r.Seq, Status: StatusFromError(err)}
+		if mapped {
+			rep.Flags |= FlagMapped
+		}
+		s.trySend(c, AppendIOReply(nil, rep))
+
+	case OpWrite:
+		if sess.isAcked(r.Seq) {
+			// Idempotent retry: the write was durably acknowledged in a
+			// previous attempt (possibly on a connection that died before
+			// the ack reached the client). Ack again without touching
+			// the device.
+			s.stats.Duplicates++
+			s.trySend(c, AppendIOReply(nil, IOReply{Seq: r.Seq, Status: StatusOK, Flags: FlagDuplicate}))
+			return
+		}
+		s.stats.Writes++
+		seq, queue := r.Seq, sess.queue
+		err := s.fe.Submit(queue, true, r.LPN, pages, func(ic cubeftl.IOCompletion) {
+			if ic.RejectedPages > 0 {
+				// Device-wide read-only degrade: the write did not land.
+				s.stats.Rejects++
+				s.trySend(c, AppendIOReply(nil, IOReply{
+					Seq: seq, Status: StatusFailedPrecondition, LatencyNs: int64(ic.Latency)}))
+				return
+			}
+			// Under Options.Recovery this callback fires only once the
+			// write's mapping record is durable — the ack a client may
+			// trust across power loss.
+			sess.ack(seq)
+			s.slo.observe(queue, true, int64(ic.Latency))
+			s.trySend(c, AppendIOReply(nil, IOReply{Seq: seq, Status: StatusOK, LatencyNs: int64(ic.Latency)}))
+		})
+		if err != nil {
+			s.replyErr(c, r.Seq, err)
+		}
+
+	case OpRead:
+		s.stats.Reads++
+		seq, queue := r.Seq, sess.queue
+		err := s.fe.Submit(queue, false, r.LPN, pages, func(ic cubeftl.IOCompletion) {
+			s.slo.observe(queue, false, int64(ic.Latency))
+			s.trySend(c, AppendIOReply(nil, IOReply{Seq: seq, Status: StatusOK, LatencyNs: int64(ic.Latency)}))
+		})
+		if err != nil {
+			s.replyErr(c, r.Seq, err)
+		}
+	}
+}
+
+func (s *Server) replyErr(c *conn, seq uint64, err error) {
+	st := StatusFromError(err)
+	if st == StatusOK {
+		st = StatusInternal
+	}
+	s.stats.Rejects++
+	s.trySend(c, AppendIOReply(nil, IOReply{Seq: seq, Status: st}))
+}
+
+// dropConns notifies and closes every connection. Core-only.
+func (s *Server) dropConns(reason uint8) {
+	for c := range s.conns {
+		s.trySend(c, AppendGoingDown(nil, reason))
+		s.closeConn(c)
+	}
+}
+
+// --- chaos / admin (all run on the core goroutine via do) ---
+
+// PowerCut kills the device mid-flight exactly as cubeftl.PowerCut
+// does — in-flight programs tear, unflushed journal bytes vanish —
+// then drops every client connection. In-flight requests never get a
+// reply; clients observe a dead connection and retry after Recover.
+func (s *Server) PowerCut() error {
+	var err error
+	s.do(func() {
+		if s.slo != nil && s.fe != nil {
+			s.savedWeights, s.savedRates = s.slo.weightsAndRates()
+		}
+		if err = s.dev.PowerCut(); err != nil {
+			return
+		}
+		s.up = false
+		s.fe = nil
+		s.stats.PowerCuts++
+		s.dropConns(DownRestart)
+		s.logf("cubeserved: POWER CUT at %v (sessions kept: %d)", s.dev.Now(), len(s.sessions))
+	})
+	return err
+}
+
+// Recover remounts the device from its durable state (checkpoint +
+// journal + OOB roll-forward), verifies it — including zero lost acked
+// writes — rebuilds the front end, re-applies the SLO controller's
+// knob positions, and resumes serving. Clients reconnect and resume
+// their sessions.
+func (s *Server) Recover() (cubeftl.MountReport, error) {
+	var rpt cubeftl.MountReport
+	var err error
+	s.do(func() {
+		rpt, err = s.dev.Remount(true, false)
+		if err != nil {
+			return
+		}
+		var fe *cubeftl.FrontEnd
+		if fe, err = s.attachFrontEnd(); err != nil {
+			return
+		}
+		s.fe = fe
+		if s.slo != nil && s.savedWeights != nil {
+			s.slo.rebind(fe, s.savedWeights, s.savedRates)
+		} else if s.slo != nil {
+			s.slo.fe = fe
+		}
+		s.up = true
+		s.stats.Recoveries++
+		s.logf("cubeserved: recovered in %v simulated (checkpoint=%v, %d mappings, verified=%v)",
+			rpt.MountTime, rpt.UsedCheckpoint, rpt.MappingsRecovered, rpt.Verified)
+	})
+	return rpt, err
+}
+
+// Restart is PowerCut followed by Recover — the soak harness's
+// "random power loss plus reboot" chaos event.
+func (s *Server) Restart() (cubeftl.MountReport, error) {
+	if err := s.PowerCut(); err != nil {
+		return cubeftl.MountReport{}, err
+	}
+	return s.Recover()
+}
+
+// KillDie injects certain program/erase failure on one die.
+func (s *Server) KillDie(die int) error {
+	var err error
+	s.do(func() { err = s.dev.KillDie(die) })
+	return err
+}
+
+// AckedWrites returns the durability ledger's distinct acked pages.
+func (s *Server) AckedWrites() int {
+	var n int
+	s.do(func() { n = s.dev.AckedWrites() })
+	return n
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	var st Stats
+	s.do(func() { st = s.stats })
+	return st
+}
+
+// Snapshot returns the front end's per-tenant view (nil while down).
+func (s *Server) Snapshot() []cubeftl.TenantSnapshot {
+	var snap []cubeftl.TenantSnapshot
+	s.do(func() {
+		if s.fe != nil {
+			snap = s.fe.Snapshot()
+		}
+	})
+	return snap
+}
+
+// SLOReport returns the controller's decision log and counters.
+func (s *Server) SLOReport() (decisions []Adjustment, breaches, tightenings, relaxations int64) {
+	s.do(func() {
+		decisions = append(decisions, s.slo.Decisions...)
+		breaches, tightenings, relaxations = s.slo.Breaches, s.slo.Tightenings, s.slo.Relaxations
+	})
+	return
+}
+
+// FinalStats returns the counters after Close has returned — the core
+// goroutine has exited, so the direct read is race-free. Before Close,
+// use Stats.
+func (s *Server) FinalStats() Stats { return s.stats }
+
+// Close shuts the server down gracefully: stop accepting, notify and
+// drop clients, drain in-flight I/O, flush the journal, and write a
+// final checkpoint so the next boot mounts instantly.
+func (s *Server) Close() error {
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.do(func() {
+		s.dropConns(DownShutdown)
+		if s.up && s.fe != nil && s.fe.Outstanding() > 0 {
+			s.fe.Pump()
+		}
+		s.dev.Quiesce()
+		s.up = false
+		s.logf("cubeserved: drained and checkpointed at %v simulated", s.dev.Now())
+	})
+	close(s.quit)
+	s.wg.Wait()
+	return nil
+}

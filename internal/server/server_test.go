@@ -1,0 +1,367 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cubeftl"
+)
+
+func testConfig(slo bool) Config {
+	return Config{
+		Device: cubeftl.Options{
+			FTL:            cubeftl.FTLCube,
+			Channels:       2,
+			DiesPerChannel: 2,
+			BlocksPerChip:  32,
+			Seed:           7,
+			Recovery:       true,
+		},
+		Tenants: []TenantDef{
+			{Name: "lat", Weight: 4, SLOReadP99: 2 * time.Millisecond},
+			{Name: "bulk", Weight: 1},
+		},
+		DispatchWidth: 4,
+		SLO:           SLOConfig{Enabled: slo},
+	}
+}
+
+func startTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func testClient(t *testing.T, srv *Server, tenant string) *Client {
+	t.Helper()
+	cl, err := Dial(ClientConfig{
+		Addr:        srv.Addr().String(),
+		Tenant:      tenant,
+		RetryBudget: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestWriteReadStatThroughServer(t *testing.T) {
+	srv := startTestServer(t, testConfig(false))
+	defer srv.Close()
+	cl := testClient(t, srv, "lat")
+	defer cl.Close()
+
+	if cl.CapacityPages <= 0 {
+		t.Fatalf("capacity %d", cl.CapacityPages)
+	}
+	for lpn := int64(0); lpn < 32; lpn++ {
+		if _, err := cl.Write(lpn, 1); err != nil {
+			t.Fatalf("write %d: %v", lpn, err)
+		}
+	}
+	for lpn := int64(0); lpn < 32; lpn++ {
+		res, err := cl.Read(lpn, 1)
+		if err != nil {
+			t.Fatalf("read %d: %v", lpn, err)
+		}
+		if res.Latency <= 0 {
+			t.Fatalf("read %d: non-positive simulated latency %v", lpn, res.Latency)
+		}
+		mapped, err := cl.Stat(lpn)
+		if err != nil || !mapped {
+			t.Fatalf("stat %d: mapped=%v err=%v", lpn, mapped, err)
+		}
+	}
+	if mapped, err := cl.Stat(int64(cl.CapacityPages) - 1); err != nil || mapped {
+		t.Fatalf("unwritten lpn reports mapped=%v err=%v", mapped, err)
+	}
+	if srv.AckedWrites() != 32 {
+		t.Fatalf("ledger has %d acked writes, want 32", srv.AckedWrites())
+	}
+}
+
+func TestAckedWritesSurvivePowerCutThroughServer(t *testing.T) {
+	srv := startTestServer(t, testConfig(false))
+	defer srv.Close()
+	cl := testClient(t, srv, "lat")
+	defer cl.Close()
+
+	// Durably acknowledged before the cut: these must survive.
+	acked := make([]int64, 0, 64)
+	for lpn := int64(0); lpn < 64; lpn++ {
+		if _, err := cl.Write(lpn, 1); err != nil {
+			t.Fatalf("write %d: %v", lpn, err)
+		}
+		acked = append(acked, lpn)
+	}
+
+	if err := srv.PowerCut(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A write issued while the device is down blocks in the client's
+	// retry loop and completes after recovery — the client never sees
+	// the outage as an error.
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Write(500, 1)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	rpt, err := srv.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if !rpt.Verified {
+		t.Fatal("recovery skipped verification")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("write across outage: %v", err)
+	}
+
+	for _, lpn := range acked {
+		mapped, err := cl.Stat(lpn)
+		if err != nil {
+			t.Fatalf("stat %d: %v", lpn, err)
+		}
+		if !mapped {
+			t.Fatalf("acked write at lpn %d lost after power cut + recovery", lpn)
+		}
+	}
+	if got, err := cl.Stat(500); err != nil || !got {
+		t.Fatalf("post-recovery write not visible: mapped=%v err=%v", got, err)
+	}
+	st := srv.Stats()
+	if st.PowerCuts != 1 || st.Recoveries != 1 {
+		t.Fatalf("stats: %d cuts / %d recoveries", st.PowerCuts, st.Recoveries)
+	}
+	if st.Sessions != 1 {
+		t.Fatalf("reconnect created a new session: %d sessions", st.Sessions)
+	}
+}
+
+// TestDuplicateWriteAckSuppression drives the raw protocol so the
+// retry can be issued deliberately: a re-sent write seq must be
+// acknowledged from the dedup window, flagged duplicate, and not
+// re-executed.
+func TestDuplicateWriteAckSuppression(t *testing.T) {
+	srv := startTestServer(t, testConfig(false))
+	defer srv.Close()
+
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	frame, _ := AppendHello(nil, Hello{Tenant: "lat"})
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadFrame(br, nil)
+	if err != nil || typ != MsgHelloAck {
+		t.Fatalf("hello ack: typ %d err %v", typ, err)
+	}
+	if ack, _ := ParseHelloAck(body); ack.Status != StatusOK {
+		t.Fatalf("hello refused: %v", ack.Status)
+	}
+
+	sendIO := func(r IORequest) IOReply {
+		t.Helper()
+		if _, err := nc.Write(AppendIO(nil, r)); err != nil {
+			t.Fatal(err)
+		}
+		typ, body, err := ReadFrame(br, nil)
+		if err != nil || typ != MsgIOReply {
+			t.Fatalf("io reply: typ %d err %v", typ, err)
+		}
+		rep, err := ParseIOReply(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	first := sendIO(IORequest{Op: OpWrite, Seq: 1, LPN: 10, Pages: 1})
+	if first.Status != StatusOK || first.Flags&FlagDuplicate != 0 {
+		t.Fatalf("first write: %+v", first)
+	}
+	// Identical retry: acked from the window, not re-executed.
+	retry := sendIO(IORequest{Op: OpWrite, Seq: 1, LPN: 10, Pages: 1})
+	if retry.Status != StatusOK || retry.Flags&FlagDuplicate == 0 {
+		t.Fatalf("retry not dup-acked: %+v", retry)
+	}
+	// Pruning below the ack floor keeps suppression intact.
+	second := sendIO(IORequest{Op: OpWrite, Seq: 2, AckFloor: 1, LPN: 11, Pages: 1})
+	if second.Status != StatusOK {
+		t.Fatalf("second write: %+v", second)
+	}
+	pruned := sendIO(IORequest{Op: OpWrite, Seq: 1, AckFloor: 1, LPN: 10, Pages: 1})
+	if pruned.Status != StatusOK || pruned.Flags&FlagDuplicate == 0 {
+		t.Fatalf("below-floor retry not dup-acked: %+v", pruned)
+	}
+	if st := srv.Stats(); st.Duplicates != 2 {
+		t.Fatalf("server counted %d duplicates, want 2", st.Duplicates)
+	}
+	if st := srv.Stats(); st.Writes != 2 {
+		t.Fatalf("server executed %d writes, want 2", st.Writes)
+	}
+}
+
+func TestTerminalErrorsThroughServer(t *testing.T) {
+	srv := startTestServer(t, testConfig(false))
+	defer srv.Close()
+	cl := testClient(t, srv, "lat")
+	defer cl.Close()
+
+	// Out-of-range LPN: INVALID_ARGUMENT, no retry storm.
+	if _, err := cl.Write(cl.CapacityPages+10, 1); err == nil {
+		t.Fatal("out-of-range write succeeded")
+	}
+	if cl.Stats.Retries != 0 {
+		t.Fatalf("terminal error burned %d retries", cl.Stats.Retries)
+	}
+	// The session survives a terminal error.
+	if _, err := cl.Write(0, 1); err != nil {
+		t.Fatalf("write after terminal error: %v", err)
+	}
+	// Unknown tenant: refused permanently at Hello.
+	if _, err := Dial(ClientConfig{
+		Addr: srv.Addr().String(), Tenant: "nope", RetryBudget: 2 * time.Second,
+	}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("unknown tenant: %v", err)
+	}
+}
+
+func TestGracefulCloseNotifiesClients(t *testing.T) {
+	srv := startTestServer(t, testConfig(false))
+	cl := testClient(t, srv, "bulk")
+	defer cl.Close()
+	if _, err := cl.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cl.Write(2, 1)
+	if err == nil {
+		t.Fatal("write to closed server succeeded")
+	}
+}
+
+// TestChaosConcurrentClients is the in-tree miniature of cmd/soak:
+// four live clients, a power cut + recovery mid-traffic, and the
+// audit that no acked write is lost and no client gets stuck. The
+// post-cut Remount runs the ledger verifier, so torn in-flight writes
+// or resurrected unacked state fail the test.
+func TestChaosConcurrentClients(t *testing.T) {
+	srv := startTestServer(t, testConfig(true))
+	defer srv.Close()
+
+	const nClients = 4
+	type workerState struct {
+		acked []int64
+		err   error
+	}
+	states := make([]workerState, nClients)
+	logical := int64(srv.Device().LogicalPages())
+	region := logical / nClients
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < nClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := "lat"
+			if i%2 == 1 {
+				tenant = "bulk"
+			}
+			cl, err := Dial(ClientConfig{
+				Addr: srv.Addr().String(), Tenant: tenant, RetryBudget: 20 * time.Second,
+			})
+			if err != nil {
+				states[i].err = err
+				return
+			}
+			defer cl.Close()
+			lo := int64(i) * region
+			for n := int64(0); ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lpn := lo + n%region
+				if _, err := cl.Write(lpn, 1); err != nil {
+					states[i].err = fmt.Errorf("write %d: %w", lpn, err)
+					return
+				}
+				states[i].acked = append(states[i].acked, lpn)
+				if n%4 == 3 {
+					if _, err := cl.Read(lpn, 1); err != nil {
+						states[i].err = fmt.Errorf("read %d: %w", lpn, err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	if _, err := srv.Restart(); err != nil {
+		t.Fatalf("mid-traffic restart: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stuck clients: workers did not finish")
+	}
+
+	// Final cut + recovery, then the acked-write audit.
+	rpt, err := srv.Restart()
+	if err != nil {
+		t.Fatalf("final restart: %v", err)
+	}
+	if !rpt.Verified {
+		t.Fatal("final recovery skipped verification")
+	}
+	audit := testClient(t, srv, "lat")
+	defer audit.Close()
+	for i, st := range states {
+		if st.err != nil {
+			t.Fatalf("worker %d: %v", i, st.err)
+		}
+		seen := make(map[int64]bool)
+		for _, lpn := range st.acked {
+			if seen[lpn] {
+				continue
+			}
+			seen[lpn] = true
+			mapped, err := audit.Stat(lpn)
+			if err != nil {
+				t.Fatalf("stat %d: %v", lpn, err)
+			}
+			if !mapped {
+				t.Fatalf("worker %d: acked write at lpn %d lost", i, lpn)
+			}
+		}
+	}
+}

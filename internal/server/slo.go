@@ -1,0 +1,301 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"cubeftl"
+	"cubeftl/internal/metrics"
+)
+
+// SLOConfig configures the online latency controller (DESIGN.md §13).
+// The controller watches each protected tenant's windowed read p99 and
+// adapts the front end's WRR weights and best-effort rate caps so the
+// target holds even while chaos (die kills, fault storms, recovery
+// traffic) squeezes the device.
+type SLOConfig struct {
+	// Enabled turns the control loop on. Off, the server runs with the
+	// static weights it was configured with.
+	Enabled bool
+	// Interval is the simulated time between control decisions
+	// (default 2ms).
+	Interval time.Duration
+	// MinSamples is the fewest windowed read observations a decision
+	// requires; thinner windows are skipped (default 16).
+	MinSamples int
+	// MaxWeight bounds how far a protected tenant's WRR weight may be
+	// escalated (default 64).
+	MaxWeight int
+	// RateFloorIOPS is the lowest cap the controller may squeeze a
+	// best-effort tenant to (default 1000).
+	RateFloorIOPS float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 16
+	}
+	if c.MaxWeight <= 0 {
+		c.MaxWeight = 64
+	}
+	if c.RateFloorIOPS <= 0 {
+		c.RateFloorIOPS = 1000
+	}
+	return c
+}
+
+// Adjustment records one control decision, for logs and tests.
+type Adjustment struct {
+	At      time.Duration // simulated time of the decision
+	Tenant  string
+	What    string // "weight" or "rate"
+	From    float64
+	To      float64
+	P99     time.Duration // the windowed p99 that triggered it
+	Target  time.Duration
+	Breach  bool // true = tightening, false = relaxing
+	Applied bool
+}
+
+func (a Adjustment) String() string {
+	dir := "relax"
+	if a.Breach {
+		dir = "tighten"
+	}
+	return fmt.Sprintf("slo %8v %-8s %s %s %.0f -> %.0f (p99 %v, target %v)",
+		a.At, a.Tenant, dir, a.What, a.From, a.To, a.P99, a.Target)
+}
+
+// tenantSLO is the controller's per-tenant state. Windows reset each
+// decision interval so p99 reflects current conditions, not history.
+type tenantSLO struct {
+	name       string
+	queue      int
+	target     time.Duration // 0 = best-effort (a cap donor, not protected)
+	baseWeight int
+
+	winRead  *metrics.Hist
+	winIOs   int64
+	winStart time.Duration
+
+	// relaxStreak counts consecutive comfortable intervals; relaxation
+	// waits for a few so one quiet window doesn't undo a mitigation.
+	relaxStreak int
+}
+
+// sloController implements the control loop. It runs entirely on the
+// server's core goroutine: observe() from completion callbacks,
+// maybeDecide() from the pump.
+type sloController struct {
+	cfg     SLOConfig
+	fe      *cubeftl.FrontEnd
+	tenants []*tenantSLO
+	nextAt  time.Duration
+
+	// Decisions is the log of every applied adjustment.
+	Decisions []Adjustment
+	// Breaches counts intervals where a protected tenant missed its
+	// target; Tightenings/Relaxations count applied knob turns.
+	Breaches    int64
+	Tightenings int64
+	Relaxations int64
+}
+
+// newSLOController builds the controller over the front end. targets
+// maps tenant name to its read-p99 objective; tenants absent from the
+// map are best-effort donors.
+func newSLOController(cfg SLOConfig, fe *cubeftl.FrontEnd, tenants []TenantDef) *sloController {
+	sc := &sloController{cfg: cfg.withDefaults(), fe: fe}
+	for i, td := range tenants {
+		w := td.Weight
+		if w < 1 {
+			w = 1
+		}
+		sc.tenants = append(sc.tenants, &tenantSLO{
+			name:       td.Name,
+			queue:      i,
+			target:     td.SLOReadP99,
+			baseWeight: w,
+			winRead:    metrics.NewHist(0),
+		})
+	}
+	return sc
+}
+
+// rebind points the controller at a fresh front end (after recovery).
+// Escalated weights/caps are re-applied so a mitigation survives the
+// remount instead of silently resetting to static configuration.
+func (sc *sloController) rebind(fe *cubeftl.FrontEnd, weights []int, rates []float64) {
+	sc.fe = fe
+	for i, t := range sc.tenants {
+		_ = sc.fe.SetWeight(t.queue, weights[i])
+		_ = sc.fe.SetRate(t.queue, rates[i])
+	}
+}
+
+// observe feeds one completed command's host-visible latency.
+func (sc *sloController) observe(queue int, write bool, latNs int64) {
+	if !sc.cfg.Enabled || queue >= len(sc.tenants) {
+		return
+	}
+	t := sc.tenants[queue]
+	t.winIOs++
+	if !write {
+		t.winRead.Add(latNs)
+	}
+}
+
+// maybeDecide runs one control decision if an interval has elapsed.
+// now is the simulated clock.
+func (sc *sloController) maybeDecide(now time.Duration) {
+	if !sc.cfg.Enabled {
+		return
+	}
+	if sc.nextAt == 0 {
+		sc.nextAt = now + sc.cfg.Interval
+		return
+	}
+	if now < sc.nextAt {
+		return
+	}
+	sc.nextAt = now + sc.cfg.Interval
+	sc.decide(now)
+	for _, t := range sc.tenants {
+		t.winRead = metrics.NewHist(0)
+		t.winIOs = 0
+		t.winStart = now
+	}
+}
+
+func (sc *sloController) decide(now time.Duration) {
+	for _, t := range sc.tenants {
+		if t.target <= 0 || t.winRead.N() < int64(sc.cfg.MinSamples) {
+			continue
+		}
+		p99 := time.Duration(t.winRead.Percentile(99))
+		switch {
+		case p99 > t.target:
+			sc.Breaches++
+			t.relaxStreak = 0
+			sc.tighten(now, t, p99)
+		case p99 < t.target*7/10:
+			t.relaxStreak++
+			if t.relaxStreak >= 3 {
+				sc.relax(now, t, p99)
+			}
+		default:
+			t.relaxStreak = 0
+		}
+	}
+}
+
+// tighten escalates for a breached tenant: first double its WRR weight
+// (up to MaxWeight), then squeeze every best-effort tenant's rate cap
+// multiplicatively (down to RateFloorIOPS).
+func (sc *sloController) tighten(now time.Duration, t *tenantSLO, p99 time.Duration) {
+	snap := sc.fe.Snapshot()
+	cur := snap[t.queue].Weight
+	if cur < sc.cfg.MaxWeight {
+		next := cur * 2
+		if next > sc.cfg.MaxWeight {
+			next = sc.cfg.MaxWeight
+		}
+		if sc.fe.SetWeight(t.queue, next) == nil {
+			sc.record(Adjustment{At: now, Tenant: t.name, What: "weight",
+				From: float64(cur), To: float64(next), P99: p99, Target: t.target,
+				Breach: true, Applied: true})
+			sc.Tightenings++
+			return
+		}
+	}
+	for _, o := range sc.tenants {
+		if o.target > 0 {
+			continue // never throttle a protected tenant
+		}
+		cap := snap[o.queue].RateIOPS
+		var next float64
+		switch {
+		case cap == 0:
+			// Uncapped: start from the tenant's observed window rate so
+			// the first squeeze bites immediately.
+			win := now - o.winStart
+			if win <= 0 || o.winIOs == 0 {
+				continue
+			}
+			observed := float64(o.winIOs) / win.Seconds()
+			next = observed / 2
+		default:
+			next = cap / 2
+		}
+		if next < sc.cfg.RateFloorIOPS {
+			next = sc.cfg.RateFloorIOPS
+		}
+		if next == cap {
+			continue
+		}
+		if sc.fe.SetRate(o.queue, next) == nil {
+			sc.record(Adjustment{At: now, Tenant: o.name, What: "rate",
+				From: cap, To: next, P99: p99, Target: t.target,
+				Breach: true, Applied: true})
+			sc.Tightenings++
+		}
+	}
+}
+
+// relax unwinds mitigations once the protected tenant has headroom:
+// best-effort caps loosen multiplicatively (and lift entirely past 8x
+// the floor), then the protected weight decays toward its base.
+func (sc *sloController) relax(now time.Duration, t *tenantSLO, p99 time.Duration) {
+	snap := sc.fe.Snapshot()
+	for _, o := range sc.tenants {
+		if o.target > 0 {
+			continue
+		}
+		cap := snap[o.queue].RateIOPS
+		if cap == 0 {
+			continue
+		}
+		next := cap * 2
+		if next > sc.cfg.RateFloorIOPS*8 {
+			next = 0 // fully lifted
+		}
+		if sc.fe.SetRate(o.queue, next) == nil {
+			sc.record(Adjustment{At: now, Tenant: o.name, What: "rate",
+				From: cap, To: next, P99: p99, Target: t.target, Applied: true})
+			sc.Relaxations++
+			return // one knob per interval on the way down
+		}
+	}
+	cur := snap[t.queue].Weight
+	if cur > t.baseWeight {
+		next := cur / 2
+		if next < t.baseWeight {
+			next = t.baseWeight
+		}
+		if sc.fe.SetWeight(t.queue, next) == nil {
+			sc.record(Adjustment{At: now, Tenant: t.name, What: "weight",
+				From: float64(cur), To: float64(next), P99: p99, Target: t.target, Applied: true})
+			sc.Relaxations++
+		}
+	}
+}
+
+func (sc *sloController) record(a Adjustment) {
+	sc.Decisions = append(sc.Decisions, a)
+}
+
+// weightsAndRates snapshots the current knob positions (for rebinding
+// after recovery).
+func (sc *sloController) weightsAndRates() ([]int, []float64) {
+	snap := sc.fe.Snapshot()
+	ws := make([]int, len(sc.tenants))
+	rs := make([]float64, len(sc.tenants))
+	for i := range sc.tenants {
+		ws[i] = snap[i].Weight
+		rs[i] = snap[i].RateIOPS
+	}
+	return ws, rs
+}

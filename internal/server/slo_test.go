@@ -1,0 +1,221 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"cubeftl"
+)
+
+// newSLOFixture builds a real device + front end and a controller over
+// two tenants: "lat" (protected, queue 0) and "bulk" (best-effort,
+// queue 1). The tests drive observe/maybeDecide directly with a
+// synthetic clock, the same way the server's core loop does.
+func newSLOFixture(t *testing.T, cfg SLOConfig) (*sloController, *cubeftl.FrontEnd, *cubeftl.SSD) {
+	t.Helper()
+	dev, err := cubeftl.New(cubeftl.Options{
+		FTL: cubeftl.FTLCube, Channels: 2, DiesPerChannel: 2, BlocksPerChip: 32, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := []TenantDef{
+		{Name: "lat", Weight: 4, SLOReadP99: time.Millisecond},
+		{Name: "bulk", Weight: 1},
+	}
+	fe, err := dev.AttachFrontEnd([]cubeftl.QueueSpec{
+		{Name: "lat", Weight: 4}, {Name: "bulk", Weight: 1},
+	}, cubeftl.ArbWRR, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newSLOController(cfg, fe, tenants), fe, dev
+}
+
+// feed pushes n read observations of the given latency into a tenant's
+// current window.
+func feed(sc *sloController, queue, n int, lat time.Duration) {
+	for i := 0; i < n; i++ {
+		sc.observe(queue, false, int64(lat))
+	}
+}
+
+func TestSLOTightensUnderBreach(t *testing.T) {
+	cfg := SLOConfig{Enabled: true, Interval: time.Millisecond, MinSamples: 4,
+		MaxWeight: 16, RateFloorIOPS: 100}
+	sc, fe, _ := newSLOFixture(t, cfg)
+
+	now := time.Millisecond
+	sc.maybeDecide(now) // arms the first interval, no decision yet
+	if len(sc.Decisions) != 0 {
+		t.Fatalf("decision before any window: %v", sc.Decisions)
+	}
+
+	// Breach interval 1: p99 5ms against a 1ms target. First response
+	// is a weight escalation, 4 -> 8.
+	feed(sc, 0, 8, 5*time.Millisecond)
+	now += cfg.Interval
+	sc.maybeDecide(now)
+	if got := fe.Snapshot()[0].Weight; got != 8 {
+		t.Fatalf("after breach 1, lat weight = %d, want 8", got)
+	}
+
+	// Breach interval 2: 8 -> 16 (the configured MaxWeight).
+	feed(sc, 0, 8, 5*time.Millisecond)
+	now += cfg.Interval
+	sc.maybeDecide(now)
+	if got := fe.Snapshot()[0].Weight; got != 16 {
+		t.Fatalf("after breach 2, lat weight = %d, want 16", got)
+	}
+
+	// Breach interval 3: weight is pinned, so the controller turns to
+	// the best-effort tenant's rate. bulk is uncapped, so the first
+	// squeeze starts from its observed window rate (1000 IOs in 1ms =
+	// 1e6 IOPS) and halves it.
+	feed(sc, 0, 8, 5*time.Millisecond)
+	for i := 0; i < 1000; i++ {
+		sc.observe(1, true, int64(time.Millisecond))
+	}
+	now += cfg.Interval
+	sc.maybeDecide(now)
+	cap1 := fe.Snapshot()[1].RateIOPS
+	if cap1 <= 0 {
+		t.Fatalf("bulk still uncapped after pinned-weight breach")
+	}
+
+	// Breach interval 4: the cap halves again, but never below the floor.
+	feed(sc, 0, 8, 5*time.Millisecond)
+	now += cfg.Interval
+	sc.maybeDecide(now)
+	cap2 := fe.Snapshot()[1].RateIOPS
+	if cap2 >= cap1 || cap2 < cfg.RateFloorIOPS {
+		t.Fatalf("second squeeze: %.0f -> %.0f (floor %.0f)", cap1, cap2, cfg.RateFloorIOPS)
+	}
+
+	if sc.Breaches != 4 || sc.Tightenings != 4 {
+		t.Fatalf("breaches %d tightenings %d, want 4/4", sc.Breaches, sc.Tightenings)
+	}
+	for _, d := range sc.Decisions {
+		if !d.Breach || !d.Applied {
+			t.Fatalf("unexpected decision in tighten-only run: %v", d)
+		}
+	}
+}
+
+func TestSLORelaxesAfterSustainedHeadroom(t *testing.T) {
+	cfg := SLOConfig{Enabled: true, Interval: time.Millisecond, MinSamples: 4,
+		MaxWeight: 16, RateFloorIOPS: 100}
+	sc, fe, _ := newSLOFixture(t, cfg)
+
+	// Put the controller in a mitigated state: escalated weight and a
+	// squeezed bulk cap.
+	if err := fe.SetWeight(0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.SetRate(1, 200); err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Millisecond
+	sc.maybeDecide(now)
+
+	// Comfortable intervals: p99 well under 70% of the 1ms target.
+	// Relaxation waits for a streak of 3, then unwinds one knob per
+	// interval — rate first, then weight.
+	relaxed := func() (float64, int) {
+		s := fe.Snapshot()
+		return s[1].RateIOPS, s[0].Weight
+	}
+	for i := 0; i < 2; i++ {
+		feed(sc, 0, 8, 100*time.Microsecond)
+		now += cfg.Interval
+		sc.maybeDecide(now)
+	}
+	if cap, w := relaxed(); cap != 200 || w != 16 {
+		t.Fatalf("relaxed too early: cap %.0f weight %d", cap, w)
+	}
+	feed(sc, 0, 8, 100*time.Microsecond)
+	now += cfg.Interval
+	sc.maybeDecide(now)
+	cap3, _ := relaxed()
+	if cap3 != 400 {
+		t.Fatalf("third comfortable interval should double the cap: %.0f", cap3)
+	}
+	// Keep relaxing: the cap lifts entirely past 8x the floor, then the
+	// weight decays back to its base.
+	for i := 0; i < 8; i++ {
+		feed(sc, 0, 8, 100*time.Microsecond)
+		now += cfg.Interval
+		sc.maybeDecide(now)
+	}
+	cap, w := relaxed()
+	if cap != 0 {
+		t.Fatalf("bulk cap never fully lifted: %.0f", cap)
+	}
+	if w != 4 {
+		t.Fatalf("lat weight did not decay to base: %d", w)
+	}
+	if sc.Relaxations == 0 || sc.Breaches != 0 {
+		t.Fatalf("relaxations %d breaches %d", sc.Relaxations, sc.Breaches)
+	}
+
+	// One breach resets the streak: no further relaxation until the
+	// streak rebuilds.
+	feed(sc, 0, 8, 5*time.Millisecond)
+	now += cfg.Interval
+	sc.maybeDecide(now)
+	before := sc.Relaxations
+	feed(sc, 0, 8, 100*time.Microsecond)
+	now += cfg.Interval
+	sc.maybeDecide(now)
+	if sc.Relaxations != before {
+		t.Fatal("relaxed immediately after a breach; streak not reset")
+	}
+}
+
+func TestSLOSkipsThinWindowsAndDisabled(t *testing.T) {
+	cfg := SLOConfig{Enabled: true, Interval: time.Millisecond, MinSamples: 8,
+		MaxWeight: 16, RateFloorIOPS: 100}
+	sc, fe, _ := newSLOFixture(t, cfg)
+	now := time.Millisecond
+	sc.maybeDecide(now)
+	feed(sc, 0, 7, 5*time.Millisecond) // one short of MinSamples
+	now += cfg.Interval
+	sc.maybeDecide(now)
+	if len(sc.Decisions) != 0 || fe.Snapshot()[0].Weight != 4 {
+		t.Fatalf("thin window acted: %v", sc.Decisions)
+	}
+
+	off, feOff, _ := newSLOFixture(t, SLOConfig{Enabled: false})
+	feed(off, 0, 100, 50*time.Millisecond)
+	off.maybeDecide(time.Second)
+	off.maybeDecide(2 * time.Second)
+	if len(off.Decisions) != 0 || feOff.Snapshot()[0].Weight != 4 {
+		t.Fatal("disabled controller acted")
+	}
+}
+
+func TestSLORebindCarriesKnobsAcrossRecovery(t *testing.T) {
+	cfg := SLOConfig{Enabled: true, Interval: time.Millisecond, MinSamples: 4,
+		MaxWeight: 16, RateFloorIOPS: 100}
+	sc, fe, dev := newSLOFixture(t, cfg)
+	if err := fe.SetWeight(0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.SetRate(1, 250); err != nil {
+		t.Fatal(err)
+	}
+	ws, rs := sc.weightsAndRates()
+
+	fresh, err := dev.AttachFrontEnd([]cubeftl.QueueSpec{
+		{Name: "lat", Weight: 4}, {Name: "bulk", Weight: 1},
+	}, cubeftl.ArbWRR, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.rebind(fresh, ws, rs)
+	snap := fresh.Snapshot()
+	if snap[0].Weight != 16 || snap[1].RateIOPS != 250 {
+		t.Fatalf("rebind lost knobs: weight %d rate %.0f", snap[0].Weight, snap[1].RateIOPS)
+	}
+}

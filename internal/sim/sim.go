@@ -9,6 +9,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
 // Time is simulated time in nanoseconds since the start of the run.
@@ -62,6 +63,15 @@ type Engine struct {
 	probeEvery Time
 	probeNext  Time
 	probeFn    func(at Time)
+
+	// interrupted is the only engine field another goroutine may touch:
+	// Interrupt sets it asynchronously (a signal handler, a server's
+	// control plane) and every run loop checks it between events. The
+	// event that is executing when the flag lands still finishes, so the
+	// simulation state stays consistent — the run simply returns early
+	// with events left on the calendar. Unused, it changes nothing: runs
+	// remain deterministic.
+	interrupted atomic.Bool
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -138,7 +148,7 @@ func (e *Engine) Step() bool {
 
 // Run fires events until the calendar is empty.
 func (e *Engine) Run() {
-	for e.Step() {
+	for !e.interrupted.Load() && e.Step() {
 	}
 }
 
@@ -146,6 +156,9 @@ func (e *Engine) Run() {
 // to the deadline (if it has not already passed it).
 func (e *Engine) RunUntil(deadline Time) {
 	for len(e.events) > 0 && e.events[0].at <= deadline {
+		if e.interrupted.Load() {
+			return
+		}
 		e.Step()
 	}
 	if e.now < deadline {
@@ -158,9 +171,24 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // RunWhile fires events while cond() is true and events remain.
 func (e *Engine) RunWhile(cond func() bool) {
-	for cond() && e.Step() {
+	for !e.interrupted.Load() && cond() && e.Step() {
 	}
 }
+
+// Interrupt asks the current (or next) Run/RunWhile/RunUntil call to
+// return after the event in progress. It is the one engine entry point
+// safe to call from another goroutine — signal handlers and server
+// control planes use it to halt a long simulation at a consistent
+// event boundary. The calendar is preserved; clear the flag with
+// ClearInterrupt to resume.
+func (e *Engine) Interrupt() { e.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called and not yet
+// cleared.
+func (e *Engine) Interrupted() bool { return e.interrupted.Load() }
+
+// ClearInterrupt re-arms the run loops after an Interrupt.
+func (e *Engine) ClearInterrupt() { e.interrupted.Store(false) }
 
 // Resource is a unit-capacity FIFO server (a flash bus, a chip). Grants
 // are issued in request order; utilization (busy time) is accounted for

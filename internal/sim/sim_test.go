@@ -255,3 +255,67 @@ func TestQuickResourceNeverDoubleGranted(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestInterruptStopsRunAtEventBoundary(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i*100), func() {
+			fired++
+			if fired == 3 {
+				e.Interrupt()
+			}
+		})
+	}
+	e.Run()
+	if fired != 3 {
+		t.Errorf("fired %d events, want 3 (interrupt after third)", fired)
+	}
+	if !e.Interrupted() {
+		t.Error("Interrupted() = false after Interrupt")
+	}
+	if e.Pending() != 7 {
+		t.Errorf("calendar kept %d events, want 7", e.Pending())
+	}
+	// The interrupt is sticky until cleared.
+	e.Run()
+	if fired != 3 {
+		t.Errorf("interrupted Run fired events: %d", fired)
+	}
+	e.ClearInterrupt()
+	e.Run()
+	if fired != 10 || e.Pending() != 0 {
+		t.Errorf("resumed run: fired %d (want 10), pending %d (want 0)", fired, e.Pending())
+	}
+}
+
+func TestInterruptStopsRunWhileAndRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 1; i <= 6; i++ {
+		e.Schedule(Time(i), func() {
+			fired++
+			if fired == 2 {
+				e.Interrupt()
+			}
+		})
+	}
+	e.RunWhile(func() bool { return true })
+	if fired != 2 {
+		t.Errorf("RunWhile fired %d, want 2", fired)
+	}
+	e.ClearInterrupt()
+	e.Interrupt()
+	e.RunUntil(100)
+	if fired != 2 {
+		t.Errorf("interrupted RunUntil fired %d, want 2", fired)
+	}
+	if e.Now() >= 100 {
+		t.Errorf("interrupted RunUntil advanced the clock to %d", e.Now())
+	}
+	e.ClearInterrupt()
+	e.RunUntil(100)
+	if fired != 6 || e.Now() != 100 {
+		t.Errorf("resumed RunUntil: fired %d (want 6), now %d (want 100)", fired, e.Now())
+	}
+}

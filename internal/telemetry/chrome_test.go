@@ -30,12 +30,12 @@ func TestWriteChromeTraceSchema(t *testing.T) {
 	var doc struct {
 		DisplayTimeUnit string `json:"displayTimeUnit"`
 		TraceEvents     []struct {
-			Name string             `json:"name"`
-			Ph   string             `json:"ph"`
-			Ts   *float64           `json:"ts"`
-			Dur  *float64           `json:"dur"`
-			Pid  *int               `json:"pid"`
-			Tid  *int               `json:"tid"`
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
 			S    string         `json:"s"`
 			Args map[string]any `json:"args"`
 		} `json:"traceEvents"`

@@ -83,7 +83,7 @@ func TestStageDistDeterministic(t *testing.T) {
 		d := NewStageDist(16, newReservoirRNG(7, "stages/x"))
 		src := rng.New(3)
 		for i := 0; i < 400; i++ {
-			d.Observe(mkVec(int64(1 + src.Intn(1 << 20))))
+			d.Observe(mkVec(int64(1 + src.Intn(1<<20))))
 		}
 		return d
 	}
@@ -101,7 +101,7 @@ func TestStageSetScopeIsolation(t *testing.T) {
 	src := rng.New(3)
 	vals := make([]int64, 400)
 	for i := range vals {
-		vals[i] = int64(1 + src.Intn(1 << 20))
+		vals[i] = int64(1 + src.Intn(1<<20))
 	}
 	solo := NewStageSet(16, 7)
 	for _, v := range vals {
