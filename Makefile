@@ -2,9 +2,9 @@
 # long tests hide behind -short here; `make soak` runs them in full.
 GO ?= go
 
-.PHONY: tier1 build vet test race race-core bench-scale bench-telemetry bench-json trace-demo soak soak-short figures demo clean
+.PHONY: tier1 build vet test race race-core bench-scale bench-telemetry bench-json trace-demo fleet-smoke fleet-demo soak soak-short figures demo clean
 
-tier1: build vet race race-core soak-short
+tier1: build vet race race-core fleet-smoke soak-short
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ race:
 # the telemetry registry/tracer, and the network block service (live
 # concurrent clients against the single-threaded core).
 race-core:
-	$(GO) test -race ./internal/sim ./internal/ftl ./internal/host ./internal/recovery ./internal/telemetry ./internal/server
+	$(GO) test -race ./internal/sim ./internal/ftl ./internal/host ./internal/recovery ./internal/telemetry ./internal/server ./internal/fleet ./internal/cache
 
 # Multi-die scaling gate: fails if a 2x4 backend delivers less than
 # 1.5x the single-die Mixed IOPS (or if same-seed replay diverges).
@@ -43,6 +43,24 @@ bench-telemetry:
 # git rev) so the perf trajectory is tracked across commits.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_core.json
+
+# Fleet smoke, tier-1 sized (a few seconds): the checked-in MSR fixture
+# replayed across 8 shards and 1024 tenants behind write-back caches.
+# The report on stdout is byte-stable for a fixed seed; diffing two runs
+# is the quickest fleet-determinism check outside the test suite.
+fleet-smoke:
+	$(GO) run ./cmd/cubefleet -trace internal/workload/testdata/msr_sample.csv \
+		-shards 8 -tenants 1024 -blocks 8 -channels 1 -dies 2 \
+		-cache-pages 1024 -cache-policy 2q -cache-mode back -compress 20
+
+# Fleet demo at deployment-flavored scale: capacity-aware placement over
+# process-varied shards (±25% capacity jitter), 2048 tenants, the trace
+# repeated 4x, per-shard 2Q write-back caches.
+fleet-demo:
+	$(GO) run ./cmd/cubefleet -trace internal/workload/testdata/msr_sample.csv \
+		-shards 8 -tenants 2048 -placement capacity -capacity-jitter 0.25 \
+		-blocks 12 -channels 1 -dies 2 -repeat 4 \
+		-cache-pages 2048 -cache-policy 2q -cache-mode back -compress 20
 
 # Chaos trace demo: kill die 3 mid-run and capture the full observability
 # bundle — Chrome trace (open in https://ui.perfetto.dev), stats JSONL,

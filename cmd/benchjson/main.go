@@ -1,6 +1,7 @@
 // Command benchjson runs the core benchmark scenarios — the multi-die
-// scaling pair behind `make bench-scale` and the telemetry-overhead
-// pair behind `make bench-telemetry` — and writes one machine-readable
+// scaling pair behind `make bench-scale`, the telemetry-overhead pair
+// behind `make bench-telemetry`, the fleet sharding pair, and the
+// cache hit-rate sweep — and writes one machine-readable
 // BENCH_core.json so the performance trajectory is tracked across
 // commits. `make bench-json` runs exactly this.
 package main
@@ -20,7 +21,9 @@ import (
 	"time"
 
 	"cubeftl"
+	"cubeftl/internal/cache"
 	"cubeftl/internal/experiment"
+	"cubeftl/internal/fleet"
 	"cubeftl/internal/workload"
 )
 
@@ -61,6 +64,9 @@ type BenchResult struct {
 	WriteP99Ns int64   `json:"write_p99_ns"`
 	SimNs      int64   `json:"sim_elapsed_ns"`
 	WallMs     float64 `json:"wall_ms"`
+	// HitRate is the host-cache read hit rate, present only for the
+	// fleet and cache-sweep scenarios.
+	HitRate float64 `json:"hit_rate,omitempty"`
 }
 
 // BenchReport is the BENCH_core.json document.
@@ -82,6 +88,13 @@ type BenchReport struct {
 	// with telemetry off (the EXPERIMENTS.md contract expects < 2%).
 	ScaleSpeedup2x4      float64 `json:"scale_speedup_2x4"`
 	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+
+	// FleetScale8x is the fleet-8shard over fleet-1shard wall-time
+	// ratio: 8 shards replaying 8x the IO volume behind write-back
+	// caches, versus one uncached shard at 1x. The EXPERIMENTS.md
+	// contract expects < 2.5x on this host (one core — the headroom
+	// comes from cache absorption, not parallelism).
+	FleetScale8x float64 `json:"fleet_scale_8x"`
 }
 
 func gitRev() string {
@@ -161,10 +174,134 @@ func runTelemetry(name string, enable bool, requests int, seed uint64) (BenchRes
 	}, nil
 }
 
+// runFleet is one leg of the fleet sharding pair: the checked-in MSR
+// fixture replayed across the given shard count, with the trace
+// repeated 4x per shard so total IO volume scales with the fleet and
+// the per-shard device build cost is amortized over the replay. The
+// deterministic stats are identical across repetitions, so the leg
+// runs three times and keeps the best wall time — the standard guard
+// against scheduler noise on a shared host.
+func runFleet(name, tracePath string, shards, cachePages int, seed uint64) (BenchResult, error) {
+	var best BenchResult
+	for rep := 0; rep < 3 && !stopping.Load(); rep++ {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		st, err := cubeftl.RunFleet(cubeftl.FleetOptions{
+			Shards:         shards,
+			Tenants:        1024,
+			Seed:           seed,
+			BlocksPerChip:  8,
+			Channels:       1,
+			DiesPerChannel: 2,
+			CachePages:     cachePages,
+			CachePolicy:    cubeftl.Cache2Q,
+			CacheMode:      "back",
+			Repeat:         4 * shards,
+		}, tracePath, f, cubeftl.TraceReplayOptions{TimeCompression: 20})
+		f.Close()
+		if err != nil {
+			return BenchResult{}, err
+		}
+		iops := 0.0
+		if st.SimElapsed > 0 {
+			iops = float64(st.Requests) / st.SimElapsed.Seconds()
+		}
+		b := BenchResult{
+			Name:       name,
+			Requests:   st.Requests,
+			IOPS:       iops,
+			ReadP50Ns:  int64(st.ReadP50),
+			ReadP99Ns:  int64(st.ReadP99),
+			WriteP50Ns: int64(st.WriteP50),
+			WriteP99Ns: int64(st.WriteP99),
+			SimNs:      int64(st.SimElapsed),
+			WallMs:     float64(st.Wall.Microseconds()) / 1000,
+			HitRate:    st.HitRate,
+		}
+		if best.Name == "" || b.WallMs < best.WallMs {
+			best = b
+		}
+	}
+	return best, nil
+}
+
+// hitTrace synthesizes a pure-read trace whose cache hit rate is
+// controlled by hitFrac: that fraction of reads re-reference a 128-page
+// hot window (one tenant's extent, cache-resident after warmup), the
+// rest stream uniformly over a span far larger than the cache.
+func hitTrace(n int, hitFrac float64, seed uint64) *workload.TimedTrace {
+	tr := &workload.TimedTrace{Name: fmt.Sprintf("hit-sweep-%.0f", hitFrac*100)}
+	state := seed*2862933555777941757 + 3037000493
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	at := int64(0)
+	for i := 0; i < n; i++ {
+		var lpn int64
+		if float64(next()%1000)/1000 < hitFrac {
+			lpn = int64(next() % 128) // hot window: one tenant extent
+		} else {
+			lpn = int64(next() % (1 << 21)) // cold stream, far beyond cache
+		}
+		tr.Reqs = append(tr.Reqs, workload.TimedRequest{
+			AtNs: at, Host: "sweep", Op: workload.Read, LPN: lpn, Pages: 1,
+		})
+		// 25 us arrivals: over the device's read throughput when every
+		// request misses, under it when 90% hit — so the sweep moves the
+		// device through oversubscribed, saturated, and unloaded regimes.
+		at += 25_000
+		tr.SpanNs = at
+	}
+	return tr
+}
+
+// runCacheSweep measures read latency in one cache hit-rate regime on a
+// single cached shard: same arrival process, only the re-reference
+// fraction changes.
+func runCacheSweep(name string, hitFrac float64, requests int, seed uint64) (BenchResult, error) {
+	tr := hitTrace(requests, hitFrac, seed)
+	res, err := fleet.Run(fleet.Config{
+		Shards:         1,
+		Tenants:        64,
+		Seed:           seed,
+		BlocksPerChip:  32,
+		Channels:       1,
+		DiesPerChannel: 4,
+		Cache:          cache.Config{SizePages: 1024, Policy: cache.PolicyLRU, Mode: cache.WriteThrough},
+		// Map the whole logical space so cache misses pay real flash
+		// reads rather than the controller's buffer-miss fast path.
+		PrefillPages: 1 << 30,
+	}, tr)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	iops := 0.0
+	if res.SimElapsedNs > 0 {
+		iops = float64(res.Requests) / (float64(res.SimElapsedNs) / 1e9)
+	}
+	return BenchResult{
+		Name:       name,
+		Requests:   res.Requests,
+		IOPS:       iops,
+		ReadP50Ns:  res.ReadLat.Percentile(50),
+		ReadP99Ns:  res.ReadLat.Percentile(99),
+		WriteP50Ns: res.WriteLat.Percentile(50),
+		WriteP99Ns: res.WriteLat.Percentile(99),
+		SimNs:      int64(res.SimElapsedNs),
+		WallMs:     float64(res.WallNs) / 1e6,
+		HitRate:    res.HitRate(),
+	}, nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_core.json", "output path for the JSON report")
 	requests := flag.Int("requests", 4000, "host requests per scenario")
 	seed := flag.Uint64("seed", 1, "random seed shared by every scenario")
+	tracePath := flag.String("trace", "internal/workload/testdata/msr_sample.csv",
+		"MSR fixture replayed by the fleet scenarios")
 	flag.Parse()
 
 	watchSignals()
@@ -204,6 +341,42 @@ func main() {
 			}
 		}
 	}
+	if !stopping.Load() {
+		one, err := runFleet("fleet-1shard", *tracePath, 1, 0, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep.Benches = append(rep.Benches, one)
+		if !stopping.Load() {
+			eight, err := runFleet("fleet-8shard", *tracePath, 8, 4096, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rep.Benches = append(rep.Benches, eight)
+			if one.WallMs > 0 {
+				rep.FleetScale8x = eight.WallMs / one.WallMs
+			}
+		}
+	}
+
+	for _, sweep := range []struct {
+		name string
+		frac float64
+	}{
+		{"cache-hit-0", 0}, {"cache-hit-50", 0.5}, {"cache-hit-90", 0.9},
+	} {
+		if stopping.Load() {
+			break
+		}
+		b, err := runCacheSweep(sweep.name, sweep.frac, *requests, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep.Benches = append(rep.Benches, b)
+	}
 	rep.Partial = stopping.Load()
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -216,10 +389,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: %d scenarios (rev %s, seed %d): 2x4 speedup %.2fx, telemetry overhead %.2f%%\n",
-		*out, len(rep.Benches), rep.GitRev, rep.Seed, rep.ScaleSpeedup2x4, rep.TelemetryOverheadPct)
+	fmt.Printf("%s: %d scenarios (rev %s, seed %d): 2x4 speedup %.2fx, telemetry overhead %.2f%%, fleet 8x scale %.2fx\n",
+		*out, len(rep.Benches), rep.GitRev, rep.Seed, rep.ScaleSpeedup2x4, rep.TelemetryOverheadPct, rep.FleetScale8x)
 	for _, b := range rep.Benches {
-		fmt.Printf("  %-22s %8.0f IOPS  rp99 %8dns  wp99 %8dns  wall %7.1fms\n",
+		fmt.Printf("  %-22s %8.0f IOPS  rp99 %8dns  wp99 %8dns  wall %7.1fms",
 			b.Name, b.IOPS, b.ReadP99Ns, b.WriteP99Ns, b.WallMs)
+		if b.HitRate > 0 {
+			fmt.Printf("  hit %.3f", b.HitRate)
+		}
+		fmt.Println()
 	}
 }

@@ -1,0 +1,46 @@
+package cache
+
+import "container/list"
+
+// lru is classic least-recently-used replacement: one recency list,
+// most-recent at the front, victims from the back.
+type lru struct {
+	order *list.List // of int64 LPN; front = MRU
+	index map[int64]*list.Element
+}
+
+func newLRU() *lru {
+	return &lru{order: list.New(), index: make(map[int64]*list.Element)}
+}
+
+func (l *lru) name() string { return PolicyLRU }
+
+func (l *lru) touch(lpn int64) {
+	if e, ok := l.index[lpn]; ok {
+		l.order.MoveToFront(e)
+	}
+}
+
+func (l *lru) insert(lpn int64) {
+	l.index[lpn] = l.order.PushFront(lpn)
+}
+
+func (l *lru) victim() (int64, bool) {
+	e := l.order.Back()
+	if e == nil {
+		return 0, false
+	}
+	lpn := e.Value.(int64)
+	l.order.Remove(e)
+	delete(l.index, lpn)
+	return lpn, true
+}
+
+func (l *lru) remove(lpn int64) {
+	if e, ok := l.index[lpn]; ok {
+		l.order.Remove(e)
+		delete(l.index, lpn)
+	}
+}
+
+func (l *lru) len() int { return l.order.Len() }

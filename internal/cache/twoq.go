@@ -1,0 +1,115 @@
+package cache
+
+import "container/list"
+
+// twoQ implements the 2Q replacement policy (Johnson & Shasha, VLDB
+// '94), the scan-resistant alternative to LRU: new pages enter a small
+// FIFO probation queue (A1in); only pages re-referenced after falling
+// out of probation — their ghosts remembered in A1out — earn a slot in
+// the main LRU (Am). A one-pass scan therefore churns only the
+// probation quarter of the cache instead of washing out the whole
+// working set, which is exactly the failure mode bulk tenants inflict
+// on LRU in a shared host cache.
+type twoQ struct {
+	kinCap  int // A1in capacity (resident probation FIFO)
+	koutCap int // A1out capacity (non-resident ghost FIFO)
+
+	a1in  *list.List // FIFO of int64; front = newest
+	am    *list.List // LRU of int64; front = MRU
+	ghost *list.List // FIFO of int64 ghosts; front = newest
+
+	inIndex    map[int64]*list.Element
+	amIndex    map[int64]*list.Element
+	ghostIndex map[int64]*list.Element
+}
+
+// newTwoQ sizes the queues from the total resident capacity using the
+// paper's recommended splits: Kin = 25% of the cache, Kout ghosts
+// remember 50% of the cache's worth of recently evicted pages.
+func newTwoQ(capacity int) *twoQ {
+	kin := capacity / 4
+	if kin < 1 {
+		kin = 1
+	}
+	kout := capacity / 2
+	if kout < 1 {
+		kout = 1
+	}
+	return &twoQ{
+		kinCap:     kin,
+		koutCap:    kout,
+		a1in:       list.New(),
+		am:         list.New(),
+		ghost:      list.New(),
+		inIndex:    make(map[int64]*list.Element),
+		amIndex:    make(map[int64]*list.Element),
+		ghostIndex: make(map[int64]*list.Element),
+	}
+}
+
+func (q *twoQ) name() string { return Policy2Q }
+
+func (q *twoQ) touch(lpn int64) {
+	if e, ok := q.amIndex[lpn]; ok {
+		q.am.MoveToFront(e)
+	}
+	// A hit in A1in leaves the page where it sits: 2Q promotes only on
+	// re-reference after eviction from probation (via the ghost list).
+}
+
+func (q *twoQ) insert(lpn int64) {
+	if e, ok := q.ghostIndex[lpn]; ok {
+		// Re-referenced after probation: this page has proven itself —
+		// admit straight into the main LRU.
+		q.ghost.Remove(e)
+		delete(q.ghostIndex, lpn)
+		q.amIndex[lpn] = q.am.PushFront(lpn)
+		return
+	}
+	q.inIndex[lpn] = q.a1in.PushFront(lpn)
+}
+
+func (q *twoQ) victim() (int64, bool) {
+	// Evict from probation while it is over its share; pages falling
+	// out of A1in leave a ghost behind.
+	if q.a1in.Len() > q.kinCap || q.am.Len() == 0 {
+		if e := q.a1in.Back(); e != nil {
+			lpn := e.Value.(int64)
+			q.a1in.Remove(e)
+			delete(q.inIndex, lpn)
+			q.addGhost(lpn)
+			return lpn, true
+		}
+	}
+	e := q.am.Back()
+	if e == nil {
+		return 0, false
+	}
+	lpn := e.Value.(int64)
+	q.am.Remove(e)
+	delete(q.amIndex, lpn)
+	return lpn, true
+}
+
+func (q *twoQ) addGhost(lpn int64) {
+	q.ghostIndex[lpn] = q.ghost.PushFront(lpn)
+	for q.ghost.Len() > q.koutCap {
+		old := q.ghost.Back()
+		q.ghost.Remove(old)
+		delete(q.ghostIndex, old.Value.(int64))
+	}
+}
+
+func (q *twoQ) remove(lpn int64) {
+	if e, ok := q.inIndex[lpn]; ok {
+		q.a1in.Remove(e)
+		delete(q.inIndex, lpn)
+		return
+	}
+	if e, ok := q.amIndex[lpn]; ok {
+		q.am.Remove(e)
+		delete(q.amIndex, lpn)
+	}
+}
+
+func (q *twoQ) len() int { return q.a1in.Len() + q.am.Len() }

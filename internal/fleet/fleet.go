@@ -1,0 +1,339 @@
+// Package fleet simulates N independent SSDs — shards — serving
+// thousands of logical tenants behind per-shard host DRAM caches, the
+// "many process-similar devices" deployment the paper's single-device
+// study scales out to (DESIGN.md §14).
+//
+// Each shard is a complete simulated device: its own sim.Engine, its
+// own ssd.Device with a seed-derived process personality (and optional
+// seed-derived aging/capacity variation), its own FTL controller and
+// multi-queue host front end, and its own host-side cache. Shards
+// share no mutable state, so each one's event loop is exactly as
+// deterministic as a single-device run; the fleet runs them on
+// concurrent goroutines purely for wall-clock speed.
+//
+// Determinism across the fleet follows from three invariants: tenant
+// placement is a pure function of (policy, seed, capacities); each
+// shard's replay depends only on its own request slice and seed; and
+// aggregation merges shard results in fixed shard order after every
+// goroutine has finished. A fixed seed therefore yields a byte-stable
+// fleet report regardless of goroutine scheduling — wall-clock timing
+// is reported separately and never enters the deterministic output.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cubeftl/internal/cache"
+	"cubeftl/internal/rng"
+	"cubeftl/internal/sim"
+	"cubeftl/internal/workload"
+)
+
+// Typed fleet errors.
+var (
+	// ErrNoTrace reports a fleet run without any replayable requests.
+	ErrNoTrace = errors.New("fleet: no trace requests to replay")
+	// ErrBadConfig reports an invalid fleet configuration.
+	ErrBadConfig = errors.New("fleet: bad configuration")
+	// ErrBadPolicy reports an unknown FTL policy name.
+	ErrBadPolicy = errors.New("fleet: unknown ftl policy")
+)
+
+// Config shapes a fleet run.
+type Config struct {
+	// Shards is the number of independent simulated SSDs (default 4).
+	Shards int
+	// Tenants is the number of logical tenants mapped onto the shards
+	// (default 1024). Each tenant owns a contiguous slice of its
+	// shard's logical space.
+	Tenants int
+	// Placement maps tenants to shards: PlaceHash (default),
+	// PlaceRange, or PlaceCapacity.
+	Placement string
+	// Seed roots every derived stream: per-shard device seeds, aging
+	// jitter, capacity jitter, and hash placement (default 1).
+	Seed uint64
+
+	// Policy is the FTL flavor on every shard: "cube" (default),
+	// "page", or "vert".
+	Policy string
+	// BlocksPerChip scales each device down for tractable runtimes
+	// (default 16, the same knob the single-device evaluation uses).
+	BlocksPerChip int
+	// Channels / DiesPerChannel override the backend topology
+	// (0 keeps the device default 2x4).
+	Channels       int
+	DiesPerChannel int
+	// BufferPages sizes each controller's write buffer (default 128).
+	BufferPages int
+	// CapacityJitter varies BlocksPerChip per shard by up to the given
+	// fraction (seed-derived, 0 disables). With PlaceCapacity this is
+	// what makes capacity-aware placement differ from uniform.
+	CapacityJitter float64
+
+	// PE / RetentionMonths pre-age every shard (0 = fresh devices).
+	// AgeJitter varies the P/E count per shard by up to the given
+	// fraction (seed-derived), modeling fleet-wide wear imbalance.
+	PE              int
+	RetentionMonths float64
+	AgeJitter       float64
+
+	// QueuesPerShard is the number of host queue pairs per shard;
+	// tenants on a shard share them round-robin (default 8).
+	QueuesPerShard int
+	// QueueDepth bounds each queue pair (default 32).
+	QueueDepth int
+
+	// Cache configures each shard's private host-side DRAM cache
+	// (SizePages is per shard; <= 0 disables caching).
+	Cache cache.Config
+	// CacheHitNs is the DRAM service latency charged to cache hits and
+	// write-back absorptions (default 2000 ns).
+	CacheHitNs int64
+
+	// PrefillPages sequentially maps the first N logical pages of each
+	// shard before replay so reads hit programmed flash (0 = none;
+	// unmapped reads complete at buffer latency).
+	PrefillPages int64
+
+	// Repeat replays the trace this many times back to back, extending
+	// simulated time (default 1). Used to scale IO volume.
+	Repeat int
+	// MaxRequests bounds the total fleet request count after repeat
+	// expansion (0 = no bound).
+	MaxRequests int
+	// TenantExtentPages is the source-LBA granularity of tenant
+	// synthesis: trace extents within the same aligned window of this
+	// many pages belong to the same tenant (default 2048).
+	TenantExtentPages int64
+}
+
+// DefaultConfig returns the standard fleet setup: 4 shards, 1024
+// tenants, hash placement, cubeFTL shards with a disabled cache.
+func DefaultConfig() Config {
+	return Config{
+		Shards:            4,
+		Tenants:           1024,
+		Placement:         PlaceHash,
+		Seed:              1,
+		Policy:            "cube",
+		BlocksPerChip:     16,
+		BufferPages:       128,
+		QueuesPerShard:    8,
+		QueueDepth:        32,
+		CacheHitNs:        2000,
+		Repeat:            1,
+		TenantExtentPages: 2048,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Shards <= 0 {
+		c.Shards = d.Shards
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = d.Tenants
+	}
+	if c.Placement == "" {
+		c.Placement = d.Placement
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Policy == "" {
+		c.Policy = d.Policy
+	}
+	if c.BlocksPerChip <= 0 {
+		c.BlocksPerChip = d.BlocksPerChip
+	}
+	if c.BufferPages <= 0 {
+		c.BufferPages = d.BufferPages
+	}
+	if c.QueuesPerShard <= 0 {
+		c.QueuesPerShard = d.QueuesPerShard
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.CacheHitNs <= 0 {
+		c.CacheHitNs = d.CacheHitNs
+	}
+	if c.Repeat <= 0 {
+		c.Repeat = d.Repeat
+	}
+	if c.TenantExtentPages <= 0 {
+		c.TenantExtentPages = d.TenantExtentPages
+	}
+	return c
+}
+
+// Run replays trace across a fleet built from cfg and returns the
+// aggregated result. The trace's source address space is folded onto
+// synthesized tenants; each shard replays its tenants' requests on its
+// own goroutine and engine.
+func Run(cfg Config, trace *workload.TimedTrace) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if trace == nil || trace.Len() == 0 {
+		return nil, ErrNoTrace
+	}
+	if cfg.Tenants < cfg.Shards {
+		return nil, fmt.Errorf("%w: %d tenants cannot cover %d shards", ErrBadConfig, cfg.Tenants, cfg.Shards)
+	}
+
+	root := rng.New(cfg.Seed)
+	specs := buildShardSpecs(cfg, root)
+
+	weights := make([]int64, cfg.Shards)
+	for i, sp := range specs {
+		weights[i] = int64(sp.blocksPerChip)
+	}
+	place, err := NewPlacement(cfg.Placement, cfg.Shards, cfg.Tenants, weights, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	assignRequests(cfg, trace, place, specs)
+	total := 0
+	for _, sp := range specs {
+		total += len(sp.reqs)
+	}
+	if total == 0 {
+		return nil, ErrNoTrace
+	}
+
+	// One goroutine per shard; results land in shard-indexed slots so
+	// the merge below runs in fixed shard order no matter which
+	// goroutine finishes first.
+	results := make([]ShardResult, cfg.Shards)
+	errs := make([]error, cfg.Shards)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = runShard(cfg, specs[i])
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	res := merge(cfg, place.Name(), results)
+	res.WallNs = wall.Nanoseconds()
+	return res, nil
+}
+
+// shardSpec is everything a shard goroutine needs, fixed before any
+// goroutine starts.
+type shardSpec struct {
+	id            int
+	seed          uint64 // device seed, derived from the fleet seed
+	blocksPerChip int    // after capacity jitter
+	pe            int    // after age jitter
+	tenants       int    // tenants placed on this shard
+	reqs          []shardReq
+}
+
+// shardReq is one replayed request in shard-local terms.
+type shardReq struct {
+	at     sim.Time
+	tenant int // slot index within the shard (0..tenants-1)
+	op     workload.Op
+	lpn    int64 // source page number; folded into the tenant extent at replay
+	pages  int
+}
+
+// buildShardSpecs derives each shard's device personality from the
+// fleet seed: a unique device seed (process variation), optional
+// capacity jitter, and optional aging jitter.
+func buildShardSpecs(cfg Config, root *rng.Source) []*shardSpec {
+	specs := make([]*shardSpec, cfg.Shards)
+	for i := range specs {
+		r := root.DeriveN("shard", uint64(i))
+		blocks := cfg.BlocksPerChip
+		if cfg.CapacityJitter > 0 {
+			// Jitter in [-j, +j], at least 4 blocks so GC keeps headroom.
+			f := 1 + cfg.CapacityJitter*(2*r.Float64()-1)
+			blocks = int(float64(blocks) * f)
+			if blocks < 4 {
+				blocks = 4
+			}
+		}
+		pe := cfg.PE
+		if pe > 0 && cfg.AgeJitter > 0 {
+			pe = int(float64(pe) * (1 + cfg.AgeJitter*(2*r.Float64()-1)))
+			if pe < 0 {
+				pe = 0
+			}
+		}
+		specs[i] = &shardSpec{
+			id:            i,
+			seed:          r.Uint64(),
+			blocksPerChip: blocks,
+			pe:            pe,
+		}
+	}
+	return specs
+}
+
+// assignRequests expands the trace (repeat passes), synthesizes tenant
+// identities from source streams and extents, and partitions the
+// requests across shards in arrival order.
+func assignRequests(cfg Config, trace *workload.TimedTrace, place Placement, specs []*shardSpec) {
+	// Tenant slots are allocated per shard in first-appearance order of
+	// the global tenant id, so a shard's tenant count is known before
+	// its device is built.
+	slot := make(map[int]int, cfg.Tenants)
+
+	span := trace.SpanNs + 1
+	passGap := sim.Time(0)
+	if trace.Len() > 1 {
+		// Repeat passes continue the arrival process with the trace's
+		// mean inter-arrival gap between the last and first record.
+		passGap = span / sim.Time(trace.Len())
+	}
+	emitted := 0
+	for pass := 0; pass < cfg.Repeat; pass++ {
+		base := sim.Time(pass) * (span + passGap)
+		for _, r := range trace.Reqs {
+			if cfg.MaxRequests > 0 && emitted >= cfg.MaxRequests {
+				return
+			}
+			tenant := tenantOf(cfg, r)
+			sh := place.Shard(tenant)
+			key := tenant
+			sl, ok := slot[key]
+			if !ok {
+				sl = specs[sh].tenants
+				specs[sh].tenants++
+				slot[key] = sl
+			}
+			specs[sh].reqs = append(specs[sh].reqs, shardReq{
+				at:     base + r.AtNs,
+				tenant: sl,
+				op:     r.Op,
+				lpn:    r.LPN,
+				pages:  r.Pages,
+			})
+			emitted++
+		}
+	}
+}
+
+// tenantOf synthesizes a logical tenant from a trace record: requests
+// from the same source stream touching the same aligned extent window
+// belong to the same tenant.
+func tenantOf(cfg Config, r workload.TimedRequest) int {
+	h := fnvMix(cfg.Seed, uint64(r.Disk))
+	h = fnvString(h, r.Host)
+	h = fnvMix(h, uint64(r.LPN/cfg.TenantExtentPages))
+	return int(h % uint64(cfg.Tenants))
+}

@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+const msrFixture = "testdata/msr_sample.csv"
+
+func parseFixture(t *testing.T, opt TraceOptions) *TimedTrace {
+	t.Helper()
+	f, err := os.Open(msrFixture)
+	if err != nil {
+		t.Fatalf("open fixture: %v", err)
+	}
+	defer f.Close()
+	tr, err := ParseTimedTrace("msr_sample", f, opt)
+	if err != nil {
+		t.Fatalf("ParseTimedTrace: %v", err)
+	}
+	return tr
+}
+
+func TestParseMSRFixture(t *testing.T) {
+	tr := parseFixture(t, TraceOptions{})
+	if tr.Len() != 1200 {
+		t.Errorf("records = %d, want 1200", tr.Len())
+	}
+	if tr.Skipped != 0 || tr.Clamped != 0 {
+		t.Errorf("clean fixture skipped %d / clamped %d", tr.Skipped, tr.Clamped)
+	}
+	if tr.Reads() == 0 || tr.Writes() == 0 {
+		t.Errorf("want both ops present: %d r / %d w", tr.Reads(), tr.Writes())
+	}
+	if tr.Reads()+tr.Writes() != int64(tr.Len()) {
+		t.Errorf("op counts %d+%d != %d", tr.Reads(), tr.Writes(), tr.Len())
+	}
+	if tr.Streams < 4 {
+		t.Errorf("streams = %d, want >= 4 (hosts x disks)", tr.Streams)
+	}
+	if tr.Reqs[0].AtNs != 0 {
+		t.Errorf("first arrival = %d, want 0 (normalized)", tr.Reqs[0].AtNs)
+	}
+	var prev int64 = -1
+	for i, r := range tr.Reqs {
+		if r.AtNs < prev {
+			t.Fatalf("record %d: arrival went backwards", i)
+		}
+		prev = r.AtNs
+		if r.Pages < 1 || r.LPN < 0 {
+			t.Fatalf("record %d: bad extent lpn=%d pages=%d", i, r.LPN, r.Pages)
+		}
+	}
+	if tr.SpanNs <= 0 {
+		t.Errorf("span = %d, want > 0", tr.SpanNs)
+	}
+}
+
+func TestTimeCompression(t *testing.T) {
+	full := parseFixture(t, TraceOptions{})
+	tenth := parseFixture(t, TraceOptions{TimeCompression: 10})
+	if tenth.SpanNs >= full.SpanNs {
+		t.Fatalf("compressed span %d >= full span %d", tenth.SpanNs, full.SpanNs)
+	}
+	ratio := float64(full.SpanNs) / float64(tenth.SpanNs)
+	if ratio < 9.9 || ratio > 10.1 {
+		t.Errorf("compression ratio = %.3f, want ~10", ratio)
+	}
+}
+
+func TestParseMSRStrictErrors(t *testing.T) {
+	const good = "128166372003061629,usr,0,Read,4096,8192,100\n"
+	cases := []struct {
+		name string
+		line string
+		want error
+	}{
+		{"truncated", "128166372003061729,usr,0,Read,4096\n", ErrTraceRecord},
+		{"bad-timestamp", "xyz,usr,0,Read,4096,8192,100\n", ErrTraceRecord},
+		{"bad-disk", "128166372003061729,usr,q,Read,4096,8192,100\n", ErrTraceRecord},
+		{"bad-op", "128166372003061729,usr,0,Flush,4096,8192,100\n", ErrTraceOp},
+		{"bad-offset", "128166372003061729,usr,0,Read,-9,8192,100\n", ErrTraceRecord},
+		{"bad-size", "128166372003061729,usr,0,Read,4096,none,100\n", ErrTraceRecord},
+		{"zero-length", "128166372003061729,usr,0,Read,4096,0,100\n", ErrTraceZeroExtent},
+		{"out-of-order", "100,usr,0,Read,4096,8192,100\n", ErrTraceOutOfOrder},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTimedTrace(tc.name, strings.NewReader(good+tc.line), TraceOptions{Format: FormatMSR})
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+			var pe *TraceParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *TraceParseError", err)
+			}
+			if pe.Line != 2 {
+				t.Errorf("line = %d, want 2", pe.Line)
+			}
+		})
+	}
+}
+
+func TestParseTolerantSkipsAndClamps(t *testing.T) {
+	in := "128166372003061629,usr,0,Read,4096,8192,100\n" +
+		"garbage line that is not a record\n" + // skipped
+		"128166372003061929,usr,0,Flush,4096,8192,100\n" + // bad op: skipped
+		"100,usr,0,Write,8192,4096,100\n" + // out of order: clamped
+		"128166372003062929,usr,0,Write,16384,4096,100\n"
+	tr, err := ParseTimedTrace("tolerant", strings.NewReader(in), TraceOptions{Tolerant: true})
+	if err != nil {
+		t.Fatalf("tolerant parse failed: %v", err)
+	}
+	if tr.Len() != 3 {
+		t.Errorf("records = %d, want 3", tr.Len())
+	}
+	if tr.Skipped != 2 {
+		t.Errorf("skipped = %d, want 2", tr.Skipped)
+	}
+	if tr.Clamped != 1 {
+		t.Errorf("clamped = %d, want 1", tr.Clamped)
+	}
+	// The clamped record must not go backwards.
+	if tr.Reqs[1].AtNs != tr.Reqs[0].AtNs {
+		t.Errorf("clamped arrival = %d, want %d", tr.Reqs[1].AtNs, tr.Reqs[0].AtNs)
+	}
+}
+
+func TestParseEmptyTrace(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty-file":    "",
+		"only-comments": "# header\n\n# another\n",
+	} {
+		_, err := ParseTimedTrace(name, strings.NewReader(in), TraceOptions{})
+		if !errors.Is(err, ErrTraceEmpty) {
+			t.Errorf("%s: got %v, want ErrTraceEmpty", name, err)
+		}
+		_, err = ParseTimedTrace(name, strings.NewReader(in), TraceOptions{Tolerant: true})
+		if !errors.Is(err, ErrTraceEmpty) {
+			t.Errorf("%s tolerant: got %v, want ErrTraceEmpty", name, err)
+		}
+	}
+}
+
+func TestParseFIU(t *testing.T) {
+	in := "0.000100 1234 postmark 2048 8 W 8 1 ab12\n" +
+		"0.000900 1234 postmark 2048 8 R 8 1 ab12\n" +
+		"0.002000 77 find 900000 16 R 8 2 ffee\n"
+	tr, err := ParseTimedTrace("fiu", strings.NewReader(in), TraceOptions{})
+	if err != nil {
+		t.Fatalf("FIU parse: %v", err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("records = %d, want 3", tr.Len())
+	}
+	r0 := tr.Reqs[0]
+	if r0.Op != Write || r0.Host != "postmark" || r0.Disk != 1 {
+		t.Errorf("r0 = %+v, want write/postmark/disk1", r0)
+	}
+	// lba 2048 * 512 = 1 MiB offset = page 64 at 16 KiB; 8 blocks = 4 KiB -> 1 page.
+	if r0.LPN != 64 || r0.Pages != 1 {
+		t.Errorf("r0 extent = (%d, %d), want (64, 1)", r0.LPN, r0.Pages)
+	}
+	if tr.Reqs[1].AtNs != 800_000 {
+		t.Errorf("arrival = %d ns, want 800000 (0.0008 s)", tr.Reqs[1].AtNs)
+	}
+	if tr.Streams != 2 {
+		t.Errorf("streams = %d, want 2", tr.Streams)
+	}
+}
+
+func TestSniffRejectsUnknown(t *testing.T) {
+	_, err := ParseTimedTrace("mystery", strings.NewReader("one two three\n"), TraceOptions{})
+	if !errors.Is(err, ErrTraceFormat) {
+		t.Errorf("got %v, want ErrTraceFormat", err)
+	}
+	_, err = ParseTimedTrace("badfmt", strings.NewReader(""), TraceOptions{Format: "blktrace"})
+	if !errors.Is(err, ErrTraceFormat) {
+		t.Errorf("explicit bad format: got %v, want ErrTraceFormat", err)
+	}
+}
+
+func TestRemap(t *testing.T) {
+	in := "128166372003061629,usr,0,Read,0,16384,100\n" + // page 0, 1 page
+		"128166372003062629,usr,0,Write,163840000,32768,100\n" + // far page, 2 pages
+		"128166372003063629,usr,0,Read,0,163840000,100\n" // 10000-page monster
+	tr, err := ParseTimedTrace("remap", strings.NewReader(in), TraceOptions{})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// Strict: the 10000-page extent cannot fit a 64-page device.
+	if err := tr.Remap(64, false); !errors.Is(err, ErrTraceExtent) {
+		t.Fatalf("strict remap: got %v, want ErrTraceExtent", err)
+	}
+	// Tolerant: the monster is dropped, the rest folded into range.
+	tr2, _ := ParseTimedTrace("remap", strings.NewReader(in), TraceOptions{})
+	if err := tr2.Remap(64, true); err != nil {
+		t.Fatalf("tolerant remap: %v", err)
+	}
+	if tr2.Len() != 2 || tr2.Skipped != 1 {
+		t.Fatalf("tolerant remap kept %d, skipped %d; want 2, 1", tr2.Len(), tr2.Skipped)
+	}
+	for i, r := range tr2.Reqs {
+		if r.LPN < 0 || r.LPN+int64(r.Pages) > 64 {
+			t.Errorf("record %d extent (%d, %d) outside device", i, r.LPN, r.Pages)
+		}
+	}
+	if tr2.Reads() != 1 || tr2.Writes() != 1 {
+		t.Errorf("post-remap op counts %d r / %d w, want 1/1", tr2.Reads(), tr2.Writes())
+	}
+	// Fully out-of-range trace must not silently become empty.
+	tr3, _ := ParseTimedTrace("remap", strings.NewReader("128166372003061629,usr,0,Read,0,163840000,100\n"), TraceOptions{})
+	if err := tr3.Remap(64, true); !errors.Is(err, ErrTraceEmpty) {
+		t.Errorf("all-dropped remap: got %v, want ErrTraceEmpty", err)
+	}
+}
+
+func TestToTraceThinkTimes(t *testing.T) {
+	tr := parseFixture(t, TraceOptions{MaxRequests: 100})
+	g := tr.ToTrace(true)
+	if g.Len() != 100 {
+		t.Fatalf("generator len = %d, want 100", g.Len())
+	}
+	think := int64(0)
+	for i := 0; i < g.Len(); i++ {
+		think += g.Next().ThinkNs
+	}
+	if think == 0 {
+		t.Errorf("no think time carried over from arrivals")
+	}
+	// Replay wraps: a second pass produces the same stream.
+	first := g.Next()
+	g.Rewind()
+	if again := g.Next(); again != first {
+		t.Errorf("rewound replay diverged: %+v vs %+v", again, first)
+	}
+}
+
+func TestParseMaxRequests(t *testing.T) {
+	tr := parseFixture(t, TraceOptions{MaxRequests: 7})
+	if tr.Len() != 7 {
+		t.Errorf("bounded parse kept %d, want 7", tr.Len())
+	}
+}
