@@ -22,10 +22,12 @@ race:
 # Full (non-short) race run over the concurrency-sensitive core: the
 # event engine, the FTL (per-die degraded transitions), the multi-queue
 # host front end, the crash-consistency subsystem (power-cut sweep),
-# the telemetry registry/tracer, and the network block service (live
-# concurrent clients against the single-threaded core).
+# the telemetry registry/tracer, the network block service (live
+# concurrent clients against the single-threaded core), and the
+# read-retry pipeline layers (nand ladder/latency model, core retry
+# table and its checkpoint serialization).
 race-core:
-	$(GO) test -race ./internal/sim ./internal/ftl ./internal/host ./internal/recovery ./internal/telemetry ./internal/server ./internal/fleet ./internal/cache
+	$(GO) test -race ./internal/sim ./internal/ftl ./internal/host ./internal/recovery ./internal/telemetry ./internal/server ./internal/fleet ./internal/cache ./internal/nand ./internal/core
 
 # Multi-die scaling gate: fails if a 2x4 backend delivers less than
 # 1.5x the single-die Mixed IOPS (or if same-seed replay diverges).

@@ -21,6 +21,21 @@ func validateTopology(channels, dies int) error {
 	return nil
 }
 
+// validateRetryMode rejects unknown -retry-mode values with an error
+// naming the flag and the accepted set (empty selects the default).
+func validateRetryMode(mode string) error {
+	if mode == "" {
+		return nil
+	}
+	for _, m := range cubeftl.RetryModes() {
+		if mode == m {
+			return nil
+		}
+	}
+	return fmt.Errorf("cubesim: -retry-mode: unknown mode %q (want one of %s)",
+		mode, strings.Join(cubeftl.RetryModes(), ", "))
+}
+
 // powercutMode is how -powercut picks the cut instant.
 type powercutMode int
 

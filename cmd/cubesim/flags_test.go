@@ -30,6 +30,21 @@ func TestValidateTopology(t *testing.T) {
 	}
 }
 
+func TestValidateRetryMode(t *testing.T) {
+	for _, ok := range []string{"", "baseline", "ort", "ort-pr", "ort-pr-ar"} {
+		if err := validateRetryMode(ok); err != nil {
+			t.Errorf("mode %q rejected: %v", ok, err)
+		}
+	}
+	err := validateRetryMode("turbo")
+	if err == nil {
+		t.Fatal("mode \"turbo\" accepted")
+	}
+	if !strings.Contains(err.Error(), "-retry-mode") || !strings.Contains(err.Error(), "ort-pr-ar") {
+		t.Errorf("error %q does not name the flag and the accepted modes", err)
+	}
+}
+
 func TestParseTenants(t *testing.T) {
 	tenants, err := parseTenants("db=OLTP, web=Web ,Rocks", 500, 8)
 	if err != nil {

@@ -39,6 +39,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	pe := flag.Int("pe", 0, "pre-aged P/E cycles (paper: 0 or 2000)")
 	retention := flag.Float64("retention", 0, "pinned retention age in months (paper: 0, 1 or 12)")
+	retryMode := flag.String("retry-mode", "", "read-retry stack: baseline (no offset caches), ort (default; the paper's flow), ort-pr (pipelined sense/decode + retry table), ort-pr-ar (ort-pr + adaptive sense termination)")
 	prefill := flag.Bool("prefill", true, "prefill the workload footprint before measuring")
 	tracePath := flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload")
 	pfail := flag.Float64("pfail", 0, "program-status failure rate per word-line program")
@@ -70,6 +71,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if err := validateRetryMode(*retryMode); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	pc, err := parsePowercut(*powercut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -97,6 +102,7 @@ func main() {
 		Seed:            *seed,
 		PECycles:        *pe,
 		RetentionMonths: *retention,
+		RetryMode:       *retryMode,
 		ProgramFailRate: *pfail,
 		EraseFailRate:   *efail,
 		ReadFaultRate:   *rfault,
@@ -207,6 +213,10 @@ func main() {
 	if cs := dev.Cube(); cs.LeaderPrograms+cs.FollowerPrograms > 0 {
 		fmt.Printf("  PS-aware: %d leaders, %d followers, %d safety rejects, ORT %d hits / %d misses (%d bytes)\n",
 			cs.LeaderPrograms, cs.FollowerPrograms, cs.SafetyRejects, cs.ORTHits, cs.ORTMisses, cs.ORTBytes)
+		if cs.RetryHits+cs.RetryMisses+cs.RetryStale > 0 {
+			fmt.Printf("  retry table: %d hits / %d misses / %d stale, %d live entries\n",
+				cs.RetryHits, cs.RetryMisses, cs.RetryStale, cs.RetryEntries)
+		}
 	}
 	settle(dev)
 	if err := obs.finishTelemetry(dev); err != nil {

@@ -97,6 +97,15 @@ type Options struct {
 	ReadFaultRate   float64 // transient fault per page read (re-issued)
 	FactoryBadRate  float64 // fraction of blocks factory-marked bad at boot
 
+	// RetryMode selects the read-retry optimization stack (DESIGN.md
+	// §15): "baseline" (no read-offset caches, serialized retries),
+	// "ort" (the paper's per-h-layer offset cache — the default, and
+	// bit-identical to pre-pipeline traces at the same seed), "ort-pr"
+	// (ORT + pipelined sense/decode + the decaying age-aware retry
+	// table), or "ort-pr-ar" (ort-pr + adaptive early sense
+	// termination). Empty selects "ort".
+	RetryMode string
+
 	// Recovery enables the crash-consistency subsystem (DESIGN.md §12):
 	// a checkpointed and journaled system area, durable-ack semantics
 	// (host write acknowledgments wait for the write's mapping record
@@ -107,6 +116,10 @@ type Options struct {
 	// checkpoints). Meaningful only with Recovery.
 	CkptInterval time.Duration
 }
+
+// RetryModes lists the accepted Options.RetryMode values in increasing
+// optimization order.
+func RetryModes() []string { return append([]string(nil), core.RetryModeNames...) }
 
 // DefaultOptions returns the paper's full evaluation device (2 buses x
 // 4 chips x 428 blocks ~= 31.5 GB) running cubeFTL.
@@ -163,6 +176,10 @@ func New(opts Options) (*SSD, error) {
 	if opts.FTL == "" {
 		opts.FTL = FTLCube
 	}
+	rs, err := core.RetrySetupFor(opts.RetryMode)
+	if err != nil {
+		return nil, err
+	}
 	eng := sim.NewEngine()
 	devCfg := ssd.DefaultConfig()
 	devCfg.Channels = opts.Channels
@@ -172,6 +189,7 @@ func New(opts Options) (*SSD, error) {
 	devCfg.SuspendOps = opts.SuspendOps
 	devCfg.PlanesPerChip = opts.PlanesPerChip
 	devCfg.Chip.StoreData = opts.VerifyData
+	devCfg.Chip.DecodeLatencyNs = rs.DecodeNs
 	dev := ssd.New(eng, devCfg)
 	faults := nand.FaultConfig{
 		ProgramFailRate: opts.ProgramFailRate,
@@ -187,7 +205,7 @@ func New(opts Options) (*SSD, error) {
 		dev.SetReadJitterProb(0.5)
 	}
 
-	pol, cube, err := newPolicy(opts.FTL, dev)
+	pol, cube, err := newPolicy(opts, dev)
 	if err != nil {
 		return nil, err
 	}
@@ -198,6 +216,7 @@ func New(opts Options) (*SSD, error) {
 	ctrlCfg.WearAware = opts.WearAware
 	ctrlCfg.VerifyData = opts.VerifyData
 	ctrlCfg.DurableAcks = opts.Recovery
+	ctrlCfg.RetryMode = rs.Mode
 	s := &SSD{
 		eng:         eng,
 		dev:         dev,
@@ -216,12 +235,14 @@ func New(opts Options) (*SSD, error) {
 	return s, nil
 }
 
-// newPolicy builds the named FTL policy against dev (cube is non-nil
-// for the cube flavors). Shared by New and Remount: a recovery mount
-// needs a fresh policy instance whose learned state is then restored
-// from the checkpoint.
-func newPolicy(name string, dev *ssd.Device) (ftl.Policy, *core.CubeFTL, error) {
-	switch name {
+// newPolicy builds the FTL policy named by opts.FTL against dev (cube
+// is non-nil for the cube flavors), applying the retry-mode setup and
+// age bucket the options imply. Shared by New and Remount: a recovery
+// mount needs a fresh policy instance whose learned state is then
+// restored from the checkpoint — including the retry table, whose
+// configuration must therefore be rebuilt identically here.
+func newPolicy(opts Options, dev *ssd.Device) (ftl.Policy, *core.CubeFTL, error) {
+	switch opts.FTL {
 	case FTLPage:
 		return ftl.NewPagePolicy(), nil, nil
 	case FTLVert:
@@ -230,14 +251,22 @@ func newPolicy(name string, dev *ssd.Device) (ftl.Policy, *core.CubeFTL, error) 
 		return ftl.NewIspPolicy(func(chip, block int) int {
 			return dev.Chip(chip).NAND.PECycles(block)
 		}), nil, nil
-	case FTLCube:
-		cube := core.New(dev.Geometry())
-		return cube, cube, nil
-	case FTLCubeMinus:
-		cube := core.NewMinus(dev.Geometry())
+	case FTLCube, FTLCubeMinus:
+		var cube *core.CubeFTL
+		if opts.FTL == FTLCubeMinus {
+			cube = core.NewMinus(dev.Geometry())
+		} else {
+			cube = core.New(dev.Geometry())
+		}
+		rs, err := core.RetrySetupFor(opts.RetryMode)
+		if err != nil {
+			return nil, nil, err
+		}
+		cube.ApplyRetrySetup(rs)
+		cube.SetAgeBucket(core.AgeBucketFor(opts.RetentionMonths))
 		return cube, cube, nil
 	}
-	return nil, nil, fmt.Errorf("cubeftl: unknown FTL %q", name)
+	return nil, nil, fmt.Errorf("cubeftl: unknown FTL %q", opts.FTL)
 }
 
 // Channels returns the device's channel (bus) count.
@@ -586,6 +615,13 @@ type CubeStats struct {
 	ORTHits          int64
 	ORTMisses        int64
 	ORTBytes         int64
+
+	// Retry-table counters (DESIGN.md §15; zero unless the retry table
+	// is enabled via Options.RetryMode "ort-pr"/"ort-pr-ar").
+	RetryHits    int64 // fresh retry-table entries served
+	RetryStale   int64 // entries expired by decay on lookup
+	RetryMisses  int64 // lookups that fell through to the ORT
+	RetryEntries int64 // live entries right now
 }
 
 // Cube returns the PS-aware counters (meaningful for cube flavors).
@@ -601,6 +637,10 @@ func (s *SSD) Cube() CubeStats {
 		ORTHits:          cs.ORTHits,
 		ORTMisses:        cs.ORTMisses,
 		ORTBytes:         s.cube.ORTBytes(),
+		RetryHits:        cs.RetryHits,
+		RetryStale:       cs.RetryStale,
+		RetryMisses:      cs.RetryMisses,
+		RetryEntries:     int64(s.cube.RetryEntries()),
 	}
 }
 

@@ -56,6 +56,9 @@ var figures = map[string]func(seed uint64) *experiment.Table{
 	"ext-tail": func(seed uint64) *experiment.Table {
 		return experiment.ExtTailLatency(evalOpts(seed, 0, 0)).Table()
 	},
+	"ext-retry": func(seed uint64) *experiment.Table {
+		return experiment.ExtRetryPipeline(evalOpts(seed, 0, 0)).Table()
+	},
 	"ext-faults": func(seed uint64) *experiment.Table {
 		return experiment.ExtFaultTolerance(evalOpts(seed, 0, 0)).Table()
 	},

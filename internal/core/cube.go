@@ -69,6 +69,16 @@ type Config struct {
 	RefBerEP1 float64
 	// ORT selects the read-offset cache granularity.
 	ORT ORTGranularity
+	// DisableORT turns every read-offset cache off (the PS-unaware
+	// baseline): all reads start the retry ladder at offset 0 and
+	// nothing is learned from their outcomes.
+	DisableORT bool
+	// RetryTable enables the decaying per-(block, h-layer, age-bucket)
+	// retry table in front of the ORT (see retry.go).
+	RetryTable bool
+	// RetryDecayReads is the retry-table decay horizon in policy-
+	// observed reads; zero selects DefaultRetryDecayReads.
+	RetryDecayReads uint64
 }
 
 // DefaultConfig returns the paper's cubeFTL configuration.
@@ -128,6 +138,12 @@ type CubeFTL struct {
 	opm map[int64]*layerObs // keyed by (chip, block, layer)
 	ort map[int64]int8      // cached optimal read offsets
 
+	// retry is the decaying age-aware offset cache layered over ort,
+	// keyed by opmKey*RetryAgeBuckets + ageBucket (see retry.go).
+	retry     map[int64]retryEntry
+	readSeq   uint64 // monotonic ObserveRead counter driving decay
+	ageBucket int    // active retention-age bucket for retry lookups
+
 	stats CubeStats
 }
 
@@ -138,6 +154,11 @@ type CubeStats struct {
 	SafetyRejects    int64
 	ORTHits          int64
 	ORTMisses        int64
+
+	// Retry-table counters (zero unless Config.RetryTable is on).
+	RetryHits   int64 // fresh retry-table entries served
+	RetryStale  int64 // entries expired by decay on lookup
+	RetryMisses int64 // lookups that fell through to the ORT
 }
 
 // NewCubeFTL builds the policy for a device geometry.
@@ -148,11 +169,15 @@ func NewCubeFTL(geo ssd.Geometry, cfg Config) *CubeFTL {
 	if cfg.ActiveBlocks < 1 {
 		cfg.ActiveBlocks = 1
 	}
+	if cfg.RetryDecayReads == 0 {
+		cfg.RetryDecayReads = DefaultRetryDecayReads
+	}
 	return &CubeFTL{
-		cfg: cfg,
-		geo: geo,
-		opm: make(map[int64]*layerObs),
-		ort: make(map[int64]int8),
+		cfg:   cfg,
+		geo:   geo,
+		opm:   make(map[int64]*layerObs),
+		ort:   make(map[int64]int8),
+		retry: make(map[int64]retryEntry),
 	}
 }
 
@@ -308,8 +333,27 @@ func (f *CubeFTL) ObserveProgram(chip, block, layer, _ int, params nand.ProgramP
 	return ftl.VerdictOK
 }
 
-// ReadStartOffset implements ftl.Policy: the ORT lookup (§4.2).
+// ReadStartOffset implements ftl.Policy: the retry-table lookup with
+// ORT fallback (§4.2 plus DESIGN.md §15). A fresh retry-table entry for
+// the current age bucket wins; a stale one expires on the spot and the
+// plain per-h-layer ORT answers instead.
 func (f *CubeFTL) ReadStartOffset(chip, block, layer int) int {
+	if f.cfg.DisableORT {
+		return 0
+	}
+	if f.cfg.RetryTable {
+		key := f.retryKey(chip, block, layer)
+		if e, ok := f.retry[key]; ok {
+			if f.readSeq-e.seq <= f.cfg.RetryDecayReads {
+				f.stats.RetryHits++
+				return int(e.offset)
+			}
+			delete(f.retry, key)
+			f.stats.RetryStale++
+		} else {
+			f.stats.RetryMisses++
+		}
+	}
 	if v, ok := f.ort[f.ortKey(chip, block, layer)]; ok {
 		f.stats.ORTHits++
 		return int(v)
@@ -318,11 +362,24 @@ func (f *CubeFTL) ReadStartOffset(chip, block, layer int) int {
 	return 0
 }
 
-// ObserveRead implements ftl.Policy: the ORT update. Successful reads
-// record the offset that decoded; uncorrectable reads clear the entry
-// so the next read rebuilds it from the default voltages.
+// ObserveRead implements ftl.Policy: the ORT/retry-table update.
+// Successful reads record the offset that decoded; uncorrectable reads
+// clear the entries so the next read rebuilds them from the default
+// voltages.
 func (f *CubeFTL) ObserveRead(chip, block, layer int, res nand.ReadResult, err error) {
+	if f.cfg.DisableORT {
+		return
+	}
 	key := f.ortKey(chip, block, layer)
+	if f.cfg.RetryTable {
+		f.readSeq++
+		rkey := f.retryKey(chip, block, layer)
+		if err != nil {
+			delete(f.retry, rkey)
+		} else {
+			f.retry[rkey] = retryEntry{offset: int8(res.OffsetUsed), seq: f.readSeq}
+		}
+	}
 	if err != nil {
 		delete(f.ort, key)
 		return
@@ -342,6 +399,16 @@ func (f *CubeFTL) BlockRetired(chip, block int) {
 // offsets describe data that no longer exists.
 func (f *CubeFTL) BlockErased(chip, block int) {
 	f.BlockRetired(chip, block)
+	if len(f.retry) > 0 {
+		// The retry table is always per h-layer; drop the block's
+		// entries across every age bucket.
+		for l := 0; l < f.geo.Layers; l++ {
+			base := f.opmKey(chip, block, l) * RetryAgeBuckets
+			for bkt := int64(0); bkt < RetryAgeBuckets; bkt++ {
+				delete(f.retry, base+bkt)
+			}
+		}
+	}
 	if f.cfg.ORT != ORTPerLayer {
 		return // coarse entries aggregate many blocks; keep them
 	}

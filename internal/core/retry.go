@@ -1,0 +1,130 @@
+package core
+
+// Retry-table cache (DESIGN.md §15): a finer-grained layer over the ORT
+// that keys the controller's read start offset by (chip, block, h-layer,
+// retention-age bucket) and decays, so the prediction tracks how far the
+// data has drifted since program rather than only the h-layer's last
+// observation. The ORT remains the prior: a retry-table miss (or a
+// stale entry) falls back to the plain per-h-layer lookup.
+
+import (
+	"fmt"
+
+	"cubeftl/internal/ecc"
+	"cubeftl/internal/nand"
+)
+
+// RetryAgeBuckets is the number of retention-age buckets the retry
+// table distinguishes (see AgeBucketFor).
+const RetryAgeBuckets = 6
+
+// AgeBucketFor quantizes a retention age in months into the retry
+// table's bucket index: fresh, <=1, <=3, <=6, <=12, >12 months. The
+// boundaries follow the paper's evaluation anchors (1 month ~ the 30%
+// retry regime, 12 months ~ the 90% regime).
+func AgeBucketFor(months float64) int {
+	switch {
+	case months <= 0:
+		return 0
+	case months <= 1:
+		return 1
+	case months <= 3:
+		return 2
+	case months <= 6:
+		return 3
+	case months <= 12:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// DefaultRetryDecayReads is the default decay horizon: a retry-table
+// entry not reconfirmed within this many policy-observed reads is
+// considered stale and expires on its next lookup.
+const DefaultRetryDecayReads = 4096
+
+// retryEntry is one cached (offset, freshness) pair.
+type retryEntry struct {
+	offset int8
+	seq    uint64 // readSeq at the last confirmation, for decay
+}
+
+// retryKey extends the per-h-layer key with the current retention-age
+// bucket. Unlike the ORT the retry table always keys per h-layer — the
+// whole point is tracking drift at full granularity.
+func (f *CubeFTL) retryKey(chip, block, layer int) int64 {
+	return f.opmKey(chip, block, layer)*RetryAgeBuckets + int64(f.ageBucket)
+}
+
+// SetAgeBucket tells the policy which retention-age bucket the device
+// currently operates in (derived from the simulated retention age; a
+// real controller would drive this from per-block program timestamps).
+func (f *CubeFTL) SetAgeBucket(b int) {
+	if b < 0 {
+		b = 0
+	}
+	if b >= RetryAgeBuckets {
+		b = RetryAgeBuckets - 1
+	}
+	f.ageBucket = b
+}
+
+// AgeBucket returns the active retention-age bucket.
+func (f *CubeFTL) AgeBucket() int { return f.ageBucket }
+
+// RetryEntries returns the number of live retry-table entries.
+func (f *CubeFTL) RetryEntries() int { return len(f.retry) }
+
+// RetrySetup bundles everything one -retry-mode choice configures: the
+// chip-level scheduling model and decode latency, and the policy-level
+// table usage.
+type RetrySetup struct {
+	// Name is the canonical mode name ("baseline", "ort", "ort-pr",
+	// "ort-pr-ar").
+	Name string
+	// Mode is the NAND retry scheduling model.
+	Mode nand.RetryMode
+	// DecodeNs is the chip's modeled ECC decode latency. Zero keeps the
+	// historical decode-folded-into-sense arithmetic (and with it,
+	// bit-identical replay of pre-pipeline traces).
+	DecodeNs int64
+	// DisableORT turns the read-offset caches off entirely — the
+	// paper's PS-unaware baseline, every read starts at offset 0.
+	DisableORT bool
+	// RetryTable enables the per-(block, h-layer, age-bucket) decaying
+	// retry table in front of the ORT.
+	RetryTable bool
+}
+
+// RetryModeNames lists the accepted -retry-mode values in order of
+// increasing optimization.
+var RetryModeNames = []string{"baseline", "ort", "ort-pr", "ort-pr-ar"}
+
+// RetrySetupFor maps a -retry-mode flag value to its setup. The empty
+// string selects "ort" — the historical default flow, guaranteed
+// bit-identical to pre-pipeline traces at the same seed.
+func RetrySetupFor(name string) (RetrySetup, error) {
+	switch name {
+	case "", "ort":
+		return RetrySetup{Name: "ort", Mode: nand.RetrySerial}, nil
+	case "baseline":
+		return RetrySetup{Name: "baseline", Mode: nand.RetrySerial, DisableORT: true}, nil
+	case "ort-pr":
+		return RetrySetup{Name: "ort-pr", Mode: nand.RetryPipelined,
+			DecodeNs: ecc.DefaultDecodeLatencyNs, RetryTable: true}, nil
+	case "ort-pr-ar":
+		return RetrySetup{Name: "ort-pr-ar", Mode: nand.RetryPipelinedAR,
+			DecodeNs: ecc.DefaultDecodeLatencyNs, RetryTable: true}, nil
+	default:
+		return RetrySetup{}, fmt.Errorf("core: unknown retry mode %q (want one of %v)", name, RetryModeNames)
+	}
+}
+
+// ApplyRetrySetup applies the policy-level half of a RetrySetup (the
+// chip- and controller-level halves are wired by whoever builds the
+// device). Call it before traffic; it does not migrate existing state.
+func (f *CubeFTL) ApplyRetrySetup(rs RetrySetup) {
+	f.cfg.DisableORT = rs.DisableORT
+	f.cfg.RetryTable = rs.RetryTable
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cubeftl/internal/nand"
+)
+
+func TestAgeBucketFor(t *testing.T) {
+	for _, tc := range []struct {
+		months float64
+		want   int
+	}{
+		{0, 0}, {-1, 0}, {0.5, 1}, {1, 1}, {2, 2}, {3, 2},
+		{4, 3}, {6, 3}, {9, 4}, {12, 4}, {13, 5}, {120, 5},
+	} {
+		if got := AgeBucketFor(tc.months); got != tc.want {
+			t.Errorf("AgeBucketFor(%v) = %d, want %d", tc.months, got, tc.want)
+		}
+	}
+}
+
+func TestRetrySetupFor(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		mode       nand.RetryMode
+		decode     bool
+		disableORT bool
+		table      bool
+	}{
+		{"", nand.RetrySerial, false, false, false},
+		{"ort", nand.RetrySerial, false, false, false},
+		{"baseline", nand.RetrySerial, false, true, false},
+		{"ort-pr", nand.RetryPipelined, true, false, true},
+		{"ort-pr-ar", nand.RetryPipelinedAR, true, false, true},
+	} {
+		rs, err := RetrySetupFor(tc.name)
+		if err != nil {
+			t.Fatalf("RetrySetupFor(%q): %v", tc.name, err)
+		}
+		if rs.Mode != tc.mode || (rs.DecodeNs > 0) != tc.decode ||
+			rs.DisableORT != tc.disableORT || rs.RetryTable != tc.table {
+			t.Errorf("RetrySetupFor(%q) = %+v, want mode %v decode>0=%v disableORT=%v table=%v",
+				tc.name, rs, tc.mode, tc.decode, tc.disableORT, tc.table)
+		}
+	}
+	if _, err := RetrySetupFor("bogus"); err == nil {
+		t.Error("RetrySetupFor(bogus) did not error")
+	}
+}
+
+// retryPolicy builds a cube policy with the retry table on and a small
+// decay horizon for testing.
+func retryPolicy(t *testing.T, seed uint64) *CubeFTL {
+	t.Helper()
+	_, dev := testDevice(seed)
+	cfg := DefaultConfig()
+	cfg.RetryDecayReads = 10
+	f := NewCubeFTL(dev.Geometry(), cfg)
+	f.ApplyRetrySetup(RetrySetup{RetryTable: true})
+	return f
+}
+
+func TestRetryTableHitStaleAndBuckets(t *testing.T) {
+	f := retryPolicy(t, 3)
+	f.SetAgeBucket(4)
+
+	// Before any observation: retry miss, ORT miss, offset 0.
+	if off := f.ReadStartOffset(0, 5, 2); off != 0 {
+		t.Fatalf("cold lookup = %d, want 0", off)
+	}
+	f.ObserveRead(0, 5, 2, nand.ReadResult{OffsetUsed: 3}, nil)
+	if off := f.ReadStartOffset(0, 5, 2); off != 3 {
+		t.Fatalf("after observe: start offset = %d, want 3", off)
+	}
+	if f.CubeStats().RetryHits != 1 {
+		t.Errorf("RetryHits = %d, want 1", f.CubeStats().RetryHits)
+	}
+	if f.RetryEntries() != 1 {
+		t.Errorf("RetryEntries = %d, want 1", f.RetryEntries())
+	}
+
+	// A different age bucket does not see the entry (the retry table is
+	// age-keyed); the lookup falls through to the shared ORT prior.
+	f.SetAgeBucket(5)
+	if off := f.ReadStartOffset(0, 5, 2); off != 3 {
+		t.Fatalf("other bucket: ORT fallback = %d, want 3", off)
+	}
+	st := f.CubeStats()
+	if st.RetryMisses == 0 || st.ORTHits == 0 {
+		t.Errorf("other bucket lookup: RetryMisses=%d ORTHits=%d, want both > 0", st.RetryMisses, st.ORTHits)
+	}
+	f.SetAgeBucket(4)
+
+	// Age the entry past the decay horizon with unrelated observations:
+	// the next lookup expires it and falls back to the ORT.
+	for i := 0; i < 11; i++ {
+		f.ObserveRead(0, 9, 1, nand.ReadResult{OffsetUsed: 1}, nil)
+	}
+	if off := f.ReadStartOffset(0, 5, 2); off != 3 {
+		t.Fatalf("stale lookup should fall back to ORT value 3, got %d", off)
+	}
+	if st := f.CubeStats(); st.RetryStale != 1 {
+		t.Errorf("RetryStale = %d, want 1", st.RetryStale)
+	}
+
+	// An uncorrectable read clears both tables for the key.
+	f.ObserveRead(0, 9, 1, nand.ReadResult{}, nand.ErrUncorrectable)
+	if off := f.ReadStartOffset(0, 9, 1); off != 0 {
+		t.Errorf("after uncorrectable: start offset = %d, want 0", off)
+	}
+}
+
+func TestRetryTableClearedOnErase(t *testing.T) {
+	f := retryPolicy(t, 4)
+	f.SetAgeBucket(2)
+	f.ObserveRead(0, 7, 3, nand.ReadResult{OffsetUsed: 2}, nil)
+	f.SetAgeBucket(5)
+	f.ObserveRead(0, 7, 3, nand.ReadResult{OffsetUsed: 4}, nil)
+	if f.RetryEntries() != 2 {
+		t.Fatalf("RetryEntries = %d, want 2", f.RetryEntries())
+	}
+	f.BlockErased(0, 7)
+	if f.RetryEntries() != 0 {
+		t.Errorf("after erase: RetryEntries = %d, want 0 (all buckets cleared)", f.RetryEntries())
+	}
+	if off := f.ReadStartOffset(0, 7, 3); off != 0 {
+		t.Errorf("after erase: start offset = %d, want 0", off)
+	}
+}
+
+func TestRetryStateRoundTrip(t *testing.T) {
+	f := retryPolicy(t, 5)
+	f.SetAgeBucket(4)
+	f.ObserveRead(0, 5, 2, nand.ReadResult{OffsetUsed: 3}, nil)
+	f.ObserveRead(1, 8, 6, nand.ReadResult{OffsetUsed: 5}, nil)
+	blob := f.SaveState()
+
+	g := retryPolicy(t, 5)
+	g.SetAgeBucket(4)
+	if err := g.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if g.RetryEntries() != 2 {
+		t.Fatalf("restored RetryEntries = %d, want 2", g.RetryEntries())
+	}
+	if off := g.ReadStartOffset(0, 5, 2); off != 3 {
+		t.Errorf("restored start offset = %d, want 3", off)
+	}
+	// readSeq must survive too, or restored entries would decay against
+	// a reset clock; byte-identical re-serialization proves it.
+	if !bytes.Equal(blob, g.SaveState()) {
+		t.Error("restored state re-serializes differently (readSeq or entries lost)")
+	}
+
+	// Truncated input must error, not panic.
+	if err := retryPolicy(t, 5).RestoreState(blob[:len(blob)-3]); err == nil {
+		t.Error("truncated state restored without error")
+	}
+}
+
+func TestBaselineDisablesORT(t *testing.T) {
+	_, dev := testDevice(6)
+	f := New(dev.Geometry())
+	rs, err := RetrySetupFor("baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ApplyRetrySetup(rs)
+	f.ObserveRead(0, 3, 1, nand.ReadResult{OffsetUsed: 4}, nil)
+	if off := f.ReadStartOffset(0, 3, 1); off != 0 {
+		t.Errorf("baseline start offset = %d, want 0 (caches off)", off)
+	}
+	st := f.CubeStats()
+	if st.ORTHits != 0 || st.ORTMisses != 0 || st.RetryHits != 0 {
+		t.Errorf("baseline counted cache traffic: %+v", st)
+	}
+}

@@ -22,7 +22,10 @@ import (
 // same learned state always serializes to the same bytes — the property
 // the recovery tests use to prove same-seed recovery is byte-identical.
 
-var policyStateMagic = [4]byte{'C', 'P', 'S', '1'}
+// Version 2 appended the retry-table section (readSeq + sorted decaying
+// entries) after the ORT. Checkpoints never persist across builds, so
+// the magic bumps instead of branching on both layouts.
+var policyStateMagic = [4]byte{'C', 'P', 'S', '2'}
 
 // SaveState implements ftl.PolicyStateSaver.
 func (f *CubeFTL) SaveState() []byte {
@@ -66,6 +69,20 @@ func (f *CubeFTL) SaveState() []byte {
 		b = binary.LittleEndian.AppendUint64(b, uint64(k))
 		b = append(b, byte(f.ort[k]))
 	}
+
+	retryKeys := make([]int64, 0, len(f.retry))
+	for k := range f.retry {
+		retryKeys = append(retryKeys, k)
+	}
+	sort.Slice(retryKeys, func(i, j int) bool { return retryKeys[i] < retryKeys[j] })
+	b = binary.LittleEndian.AppendUint64(b, f.readSeq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(retryKeys)))
+	for _, k := range retryKeys {
+		e := f.retry[k]
+		b = binary.LittleEndian.AppendUint64(b, uint64(k))
+		b = append(b, byte(e.offset))
+		b = binary.LittleEndian.AppendUint64(b, e.seq)
+	}
 	return b
 }
 
@@ -107,6 +124,15 @@ func (f *CubeFTL) RestoreState(data []byte) error {
 		k := int64(r.u64())
 		ort[k] = int8(r.u8())
 	}
+
+	readSeq := r.u64()
+	retry := make(map[int64]retryEntry)
+	nRetry := r.u32()
+	for i := uint32(0); i < nRetry && r.err == nil; i++ {
+		k := int64(r.u64())
+		off := int8(r.u8())
+		retry[k] = retryEntry{offset: off, seq: r.u64()}
+	}
 	if r.err != nil {
 		return r.err
 	}
@@ -115,6 +141,8 @@ func (f *CubeFTL) RestoreState(data []byte) error {
 	}
 	f.opm = opm
 	f.ort = ort
+	f.retry = retry
+	f.readSeq = readSeq
 	return nil
 }
 

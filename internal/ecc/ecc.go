@@ -30,6 +30,21 @@ const (
 // above this fail with probability ~0.5 and quickly approach 1.
 const LimitBER = float64(CorrectableBits) / float64(CodewordBits)
 
+// DefaultDecodeLatencyNs is the nominal latency of one hard-decision
+// decode of a full page (~10 us for a BCH-class engine at this codeword
+// geometry). The classic serial read flow hides it inside the quoted
+// sense time, so the chip's decode-latency knob defaults to zero; the
+// pipelined retry modes (PR/AR, Park et al. 2021) model it explicitly
+// because overlapping it with the next sense is exactly their win.
+const DefaultDecodeLatencyNs = 10_000
+
+// ARMarginBits is the confidence margin for AR early sense termination:
+// when a sense's sampled worst-codeword error count sits at least this
+// many bits away from CorrectableBits — on either side — the outcome is
+// already unambiguous at reduced sensing precision, and the chip ends
+// the strobe early (vth.TReadARNs instead of a full tREAD).
+const ARMarginBits = CorrectableBits / 4
+
 // CodewordsPerPage returns how many ECC codewords cover a page.
 func CodewordsPerPage(pageBytes int) int {
 	n := pageBytes / CodewordBytes

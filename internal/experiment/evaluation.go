@@ -67,6 +67,11 @@ type SSDOpts struct {
 	// device default). Used by the ext-parallel scaling study.
 	Channels       int
 	DiesPerChannel int
+
+	// RetryMode selects the read-retry optimization stack ("baseline",
+	// "ort", "ort-pr", "ort-pr-ar"; empty = "ort" — the historical
+	// default flow). See core.RetrySetupFor.
+	RetryMode string
 }
 
 // DefaultSSDOpts returns the evaluation defaults (fresh state).
@@ -122,12 +127,17 @@ func RunWorkload(kind PolicyKind, prof workload.Profile, opts SSDOpts) RunOutcom
 // optional device tweak applied before the run (used by the ablation
 // and related-work studies).
 func RunCustom(factory func(*ssd.Device) ftl.Policy, prof workload.Profile, opts SSDOpts, tweak func(*ssd.Device)) RunOutcome {
+	rs, err := core.RetrySetupFor(opts.RetryMode)
+	if err != nil {
+		panic(err) // experiment drivers hard-code the mode names
+	}
 	eng := sim.NewEngine()
 	devCfg := ssd.DefaultConfig()
 	devCfg.Chip.Process.BlocksPerChip = opts.BlocksPerChip
 	devCfg.Seed = opts.Seed
 	devCfg.SuspendOps = opts.SuspendOps
 	devCfg.PlanesPerChip = opts.PlanesPerChip
+	devCfg.Chip.DecodeLatencyNs = rs.DecodeNs
 	if opts.Channels > 0 {
 		devCfg.Channels = opts.Channels
 	}
@@ -144,7 +154,13 @@ func RunCustom(factory func(*ssd.Device) ftl.Policy, prof workload.Profile, opts
 	}
 	ctrlCfg := ftl.DefaultControllerConfig()
 	ctrlCfg.WriteBufferPages = opts.BufferPages
-	ctrl := ftl.NewController(dev, factory(dev), ctrlCfg)
+	ctrlCfg.RetryMode = rs.Mode
+	pol := factory(dev)
+	if cube, ok := pol.(*core.CubeFTL); ok {
+		cube.ApplyRetrySetup(rs)
+		cube.SetAgeBucket(core.AgeBucketFor(opts.RetentionMonths))
+	}
+	ctrl := ftl.NewController(dev, pol, ctrlCfg)
 
 	gen := workload.NewStream(prof, ctrl.LogicalPages(), opts.Seed+0xABCD)
 	workload.Prefill(ctrl, gen.Footprint())

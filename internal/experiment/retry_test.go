@@ -1,0 +1,34 @@
+package experiment
+
+import "testing"
+
+// TestRetryPipelineTailOrdering guards the headline contract of the
+// retry-pipeline study: on an aged device at the ~90% retry regime the
+// full ORT+PR+AR stack must put read p99 strictly below plain ORT, and
+// ORT itself strictly below the PS-unaware baseline.
+func TestRetryPipelineTailOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight aged evaluation runs; skipped in -short")
+	}
+	opts := DefaultSSDOpts()
+	opts.Requests = 6000
+	res := ExtRetryPipeline(opts)
+
+	for gi, regime := range res.Regimes {
+		t.Logf("%s: p99 baseline=%d ort=%d ort-pr=%d ort-pr-ar=%d (gain %.1f%%), retries=%v",
+			regime, res.ReadP99[gi][0], res.ReadP99[gi][1], res.ReadP99[gi][2], res.ReadP99[gi][3],
+			100*res.P99Gain(gi), res.Retries[gi])
+	}
+
+	const hot = 1 // ~90% regime row
+	if got, want := res.ReadP99[hot][3], res.ReadP99[hot][1]; got >= want {
+		t.Errorf("90%% regime: ort-pr-ar read p99 = %d ns, want strictly below plain ort (%d ns)", got, want)
+	}
+	if got, want := res.ReadP99[hot][1], res.ReadP99[hot][0]; got >= want {
+		t.Errorf("90%% regime: ort read p99 = %d ns, want strictly below baseline (%d ns)", got, want)
+	}
+	// The ORT slashes retry counts; the retry table must not undo that.
+	if got, want := res.Retries[hot][3], res.Retries[hot][0]; got >= want {
+		t.Errorf("90%% regime: ort-pr-ar retries = %d, want below baseline (%d)", got, want)
+	}
+}

@@ -47,6 +47,11 @@ type ControllerConfig struct {
 	// without it, acks fire on buffer admission (the classic volatile
 	// write-cache contract) and recently acked writes can be lost.
 	DurableAcks bool
+	// RetryMode is the NAND read-retry scheduling model applied to every
+	// page read the controller issues — host reads and GC relocation
+	// reads alike (see nand.RetryMode). The zero value is the classic
+	// serialized sense+decode flow.
+	RetryMode nand.RetryMode
 }
 
 // DefaultControllerConfig returns the evaluation defaults.
@@ -539,7 +544,7 @@ func (c *Controller) ReadTraced(lpn LPN, pp *telemetry.PageProbe, done func()) {
 		return
 	}
 	chip, block, layer, wl, page := c.geo.DecodePPN(ppn)
-	params := nand.ReadParams{StartOffset: c.pol.ReadStartOffset(chip, block, layer)}
+	params := nand.ReadParams{StartOffset: c.pol.ReadStartOffset(chip, block, layer), Mode: c.cfg.RetryMode}
 	addr := nand.Address{Block: block, Layer: layer, WL: wl, Page: page}
 	c.readWithRetry(chip, addr, params, 0, pp, func(res nand.ReadResult, err error) {
 		c.stats.ReadRetries += int64(res.Retries)
@@ -1086,7 +1091,7 @@ func (c *Controller) gcReadBatch(chip, victim int, batch []LPN, data [][]byte, i
 		return
 	}
 	_, _, layer, wl, page := c.geo.DecodePPN(ppn)
-	params := nand.ReadParams{StartOffset: c.pol.ReadStartOffset(chip, victim, layer)}
+	params := nand.ReadParams{StartOffset: c.pol.ReadStartOffset(chip, victim, layer), Mode: c.cfg.RetryMode}
 	addr := nand.Address{Block: victim, Layer: layer, WL: wl, Page: page}
 	c.readWithRetry(chip, addr, params, 0, nil, func(res nand.ReadResult, err error) {
 		c.stats.ReadRetries += int64(res.Retries)

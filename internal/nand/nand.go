@@ -42,6 +42,13 @@ type Config struct {
 	// StoreData keeps the actual page payloads so reads can return the
 	// written bytes. Disable for large timing-only simulations.
 	StoreData bool
+
+	// DecodeLatencyNs is the modeled latency of one ECC decode attempt.
+	// Zero (the default) folds decoding into the sense time, which keeps
+	// the serial read flow's arithmetic identical to the historical
+	// model; the pipelined retry modes set it (typically to
+	// ecc.DefaultDecodeLatencyNs) so the sense/decode overlap is real.
+	DecodeLatencyNs int64
 }
 
 // DefaultConfig returns the paper's chip: 428 blocks x 48 h-layers x
@@ -149,6 +156,10 @@ type Stats struct {
 	ProgramFails int64 // program-status failures
 	EraseFails   int64 // erase failures (each grows a bad block)
 	ReadFaults   int64 // transient read faults
+
+	// ARSenses counts senses that AR terminated early (RetryPipelinedAR
+	// reads whose sampled margin cleared ecc.ARMarginBits).
+	ARSenses int64
 }
 
 // New builds a chip from cfg. The chip's randomness (ECC sampling,
@@ -234,6 +245,11 @@ func (c *Chip) SetDisturbProb(p float64) { c.disturbProb = p }
 // SetReadJitterProb sets the per-read probability of a one-level
 // momentary shift of the optimal read offset (0 disables).
 func (c *Chip) SetReadJitterProb(p float64) { c.readJitterProb = p }
+
+// SetDecodeLatency sets the modeled per-attempt ECC decode latency in
+// nanoseconds (see Config.DecodeLatencyNs; 0 restores the historical
+// decode-folded-into-sense arithmetic).
+func (c *Chip) SetDecodeLatency(ns int64) { c.cfg.DecodeLatencyNs = ns }
 
 // aging returns the aging state applied to accesses of a block.
 func (c *Chip) aging(block int) process.Aging {

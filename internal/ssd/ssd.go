@@ -319,10 +319,9 @@ func (d *Device) ReadProbed(die int, a nand.Address, p nand.ReadParams, pp *tele
 			pp.Die = die
 			pp.PlaneWaitNs += senseAt - reqAt
 			pp.Retries += res.Retries
-			retryNs := int64(res.Retries) * vth.TReadNs
 			if pp.NANDNs == 0 {
-				pp.NANDNs = res.LatencyNs - retryNs
-				pp.RetryNs += retryNs
+				pp.NANDNs = res.LatencyNs - res.RetryNs
+				pp.RetryNs += res.RetryNs
 			} else {
 				// A transient-fault re-issue: the whole repeat sense is
 				// recovery time, not first-attempt service.

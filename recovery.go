@@ -104,7 +104,7 @@ func (s *SSD) Remount(verify, fullScan bool) (MountReport, error) {
 	// The NAND array is the durable medium: data, OOB, wear, grown bad
 	// blocks, and fault-injection streams all live there and carry over.
 	dev := ssd.NewWithArray(eng, s.dev.Config(), s.dev.Array())
-	pol, cube, err := newPolicy(s.opts.FTL, dev)
+	pol, cube, err := newPolicy(s.opts, dev)
 	if err != nil {
 		return MountReport{}, err
 	}

@@ -1,0 +1,96 @@
+package cubeftl
+
+import (
+	"testing"
+	"time"
+)
+
+func agedRetryOptions(mode string) Options {
+	return Options{
+		FTL:             FTLCube,
+		Channels:        2,
+		DiesPerChannel:  2,
+		BlocksPerChip:   16,
+		Seed:            11,
+		PECycles:        2000,
+		RetentionMonths: 12,
+		RetryMode:       mode,
+	}
+}
+
+// TestRetryModeOrtMatchesDefault pins the replay contract: -retry-mode
+// ort is the historical read flow, so it must be bit-identical to the
+// default (empty) mode at the same seed — same grant trace, same
+// latencies, same retry counts.
+func TestRetryModeOrtMatchesDefault(t *testing.T) {
+	run := func(mode string) RunStats {
+		s, err := New(agedRetryOptions(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Prefill(int64(s.LogicalPages() * 6 / 10))
+		st, err := s.RunWorkload("Mixed", 3000, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	def, ort := run(""), run("ort")
+	if def != ort {
+		t.Fatalf("default and ort replay diverge:\n%+v\n%+v", def, ort)
+	}
+	// Sanity: the pipelined stack actually changes the latency profile.
+	ar := run("ort-pr-ar")
+	if ar.ReadP99 == ort.ReadP99 && ar.ReadP50 == ort.ReadP50 {
+		t.Error("ort-pr-ar produced identical read percentiles to ort; pipeline knobs not wired")
+	}
+}
+
+// TestRetryModeRejected verifies the facade validates the mode name.
+func TestRetryModeRejected(t *testing.T) {
+	if _, err := New(agedRetryOptions("bogus")); err == nil {
+		t.Fatal("New accepted retry mode \"bogus\"")
+	}
+}
+
+// TestRetryTableSurvivesRemount proves the retry table is part of the
+// durable policy state: learned entries ride the recovery checkpoint
+// across a power cut and keep serving hits after Remount(verify=true).
+func TestRetryTableSurvivesRemount(t *testing.T) {
+	opts := agedRetryOptions("ort-pr-ar")
+	opts.VerifyData = true
+	opts.Recovery = true
+	opts.CkptInterval = 2 * time.Millisecond
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Prefill(int64(s.LogicalPages() / 2))
+	if _, err := s.RunWorkloadUntil("Mixed", 4000, 32, s.Now()+8*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Cube().RetryEntries; n == 0 {
+		t.Fatal("no retry-table entries learned before the cut")
+	}
+	if err := s.PowerCut(); err != nil {
+		t.Fatal(err)
+	}
+	rpt, err := s.Remount(true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rpt.Verified || !rpt.UsedCheckpoint {
+		t.Fatalf("remount not verified from checkpoint: %+v", rpt)
+	}
+	restored := s.Cube().RetryEntries
+	if restored == 0 {
+		t.Fatal("retry table empty after Remount — not carried by the checkpoint")
+	}
+	// The restored table must actually serve lookups.
+	if _, err := s.RunWorkloadUntil("Mixed", 2000, 16, s.Now()+4*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if hits := s.Cube().RetryHits; hits == 0 {
+		t.Error("no retry-table hits after remount; restored entries unusable")
+	}
+}
