@@ -2,9 +2,9 @@
 # long tests hide behind -short here; `make soak` runs them in full.
 GO ?= go
 
-.PHONY: tier1 build vet test race race-core bench-scale bench-telemetry bench-json trace-demo fleet-smoke fleet-demo soak soak-short figures demo clean
+.PHONY: tier1 build vet test race race-core bench-scale bench-telemetry bench-json trace-demo fleet-smoke fleet-demo metrics-smoke soak soak-short figures demo clean
 
-tier1: build vet race race-core fleet-smoke soak-short
+tier1: build vet race race-core fleet-smoke metrics-smoke soak-short
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,31 @@ fleet-demo:
 trace-demo:
 	$(GO) run ./cmd/cubesim -workload Mixed -requests 8000 -qd 16 \
 		-killdie 3 -trace-out trace.json -stats-out stats.jsonl -breakdown
+
+# Observability smoke: boot a real cubeserved with the metrics plane
+# on, scrape /metrics and /readyz over HTTP, and assert the required
+# exposition families (per-tenant p99, SLO state, retry-table
+# counters, per-die health) are served. Fails on any missing family.
+METRICS_PORT ?= 9491
+metrics-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/cubeserved-smoke ./cmd/cubeserved; \
+	/tmp/cubeserved-smoke -addr 127.0.0.1:7491 -metrics-addr 127.0.0.1:$(METRICS_PORT) \
+		-blocks 16 -slo & pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS -o /dev/null http://127.0.0.1:$(METRICS_PORT)/readyz 2>/dev/null && break; \
+		sleep 0.1; \
+	done; \
+	out=$$(curl -fsS http://127.0.0.1:$(METRICS_PORT)/metrics); \
+	for fam in 'cube_server_up 1' 'cube_tenant_read_p99_ns{tenant="lat"}' \
+		'cube_tenant_weight{tenant="lat"}' 'cube_slo_enabled 1' \
+		'cube_cube_retry_hits' 'cube_cube_ort_hits' \
+		'cube_ftl_die_0_degraded' 'cube_events_total'; do \
+		echo "$$out" | grep -qF "$$fam" || { echo "metrics-smoke: missing $$fam"; exit 1; }; \
+	done; \
+	curl -fsS http://127.0.0.1:$(METRICS_PORT)/healthz >/dev/null; \
+	echo "metrics-smoke: PASS (all required families served)"
 
 # Live-traffic chaos soak, tier-1 sized (<= 60s wall): a real cubeserved
 # instance, 6 concurrent TCP clients, fault injection on, die kill and

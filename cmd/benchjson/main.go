@@ -86,9 +86,16 @@ type BenchReport struct {
 	// ScaleSpeedup2x4 is the 2x4 over 1x1 Mixed IOPS ratio (the
 	// bench-scale gate expects >= 1.5). TelemetryOverheadPct is the
 	// simulated-elapsed cost of full telemetry over the identical run
-	// with telemetry off (the EXPERIMENTS.md contract expects < 2%).
+	// with telemetry off — the passivity contract expects exactly 0.
 	ScaleSpeedup2x4      float64 `json:"scale_speedup_2x4"`
 	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+
+	// The wall-clock cost of observing: full tracing vs telemetry off,
+	// and 1-in-16 span sampling vs telemetry off, on the identical run
+	// (best-of-3 walls; the sim outputs are bit-identical across legs).
+	// Sampling exists to pull the first number down to the second.
+	TelemetryFullWallPct    float64 `json:"telemetry_full_wall_overhead_pct"`
+	TelemetrySampledWallPct float64 `json:"telemetry_sampled_wall_overhead_pct"`
 
 	// FleetScale8x is the fleet-8shard over fleet-1shard wall-time
 	// ratio: 8 shards replaying 8x the IO volume behind write-back
@@ -135,49 +142,67 @@ func runScale(name string, channels, dies, requests int, seed uint64) BenchResul
 	}
 }
 
-// runTelemetry is one leg of the bench-telemetry pair: Mixed through
-// the facade with the observability layer fully off or fully on
-// (tracer + stage attribution + 1 ms sampling to a discard sink).
-func runTelemetry(name string, enable bool, requests int, seed uint64) (BenchResult, error) {
-	dev, err := cubeftl.New(cubeftl.Options{FTL: cubeftl.FTLCube, BlocksPerChip: 32, Seed: seed})
-	if err != nil {
-		return BenchResult{}, err
-	}
-	current.Store(dev)
-	defer current.Store(nil)
-	dev.Prefill(int64(dev.LogicalPages()) * 6 / 10)
-	dev.ResetStats()
-	if enable {
-		dev.EnableTelemetry(cubeftl.TelemetryConfig{Trace: true})
-		if err := dev.StartStats(io.Discard, time.Millisecond); err != nil {
+// runTelemetry is one leg of the bench-telemetry trio: Mixed through
+// the facade with the observability layer fully off ("off"), fully on
+// ("full": tracer + stage attribution + 1 ms sampling to a discard
+// sink), or span-sampled 1-in-16 ("sampled": same sinks, 1/16 of the
+// spans). The sim outputs are bit-identical across modes (passivity);
+// only the wall clock differs, so each leg runs three times and keeps
+// the best wall.
+func runTelemetry(name, mode string, requests int, seed uint64) (BenchResult, error) {
+	var best BenchResult
+	for rep := 0; rep < 3 && !stopping.Load(); rep++ {
+		dev, err := cubeftl.New(cubeftl.Options{FTL: cubeftl.FTLCube, BlocksPerChip: 32, Seed: seed})
+		if err != nil {
 			return BenchResult{}, err
 		}
-	}
-	start := time.Now()
-	st, err := dev.RunWorkload("Mixed", requests, 24)
-	if err != nil {
-		return BenchResult{}, err
-	}
-	wall := time.Since(start)
-	if dev.Interrupted() {
-		dev.Quiesce() // drain so the partial percentiles are settled
-	}
-	if enable {
-		if err := dev.CloseStats(); err != nil {
+		current.Store(dev)
+		dev.Prefill(int64(dev.LogicalPages()) * 6 / 10)
+		dev.ResetStats()
+		if mode != "off" {
+			tcfg := cubeftl.TelemetryConfig{Trace: true}
+			if mode == "sampled" {
+				tcfg.SpanSample = 16
+			}
+			dev.EnableTelemetry(tcfg)
+			if err := dev.StartStats(io.Discard, time.Millisecond); err != nil {
+				current.Store(nil)
+				return BenchResult{}, err
+			}
+		}
+		start := time.Now()
+		st, err := dev.RunWorkload("Mixed", requests, 24)
+		if err != nil {
+			current.Store(nil)
 			return BenchResult{}, err
 		}
+		wall := time.Since(start)
+		if dev.Interrupted() {
+			dev.Quiesce() // drain so the partial percentiles are settled
+		}
+		if mode != "off" {
+			if err := dev.CloseStats(); err != nil {
+				current.Store(nil)
+				return BenchResult{}, err
+			}
+		}
+		current.Store(nil)
+		b := BenchResult{
+			Name:       name,
+			Requests:   st.Requests,
+			IOPS:       st.IOPS,
+			ReadP50Ns:  int64(st.ReadP50),
+			ReadP99Ns:  int64(st.ReadP99),
+			WriteP50Ns: int64(st.WriteP50),
+			WriteP99Ns: int64(st.WriteP99),
+			SimNs:      int64(st.Elapsed),
+			WallMs:     float64(wall.Microseconds()) / 1000,
+		}
+		if best.Name == "" || b.WallMs < best.WallMs {
+			best = b
+		}
 	}
-	return BenchResult{
-		Name:       name,
-		Requests:   st.Requests,
-		IOPS:       st.IOPS,
-		ReadP50Ns:  int64(st.ReadP50),
-		ReadP99Ns:  int64(st.ReadP99),
-		WriteP50Ns: int64(st.WriteP50),
-		WriteP99Ns: int64(st.WriteP99),
-		SimNs:      int64(st.Elapsed),
-		WallMs:     float64(wall.Microseconds()) / 1000,
-	}, nil
+	return best, nil
 }
 
 // runRetry is one leg of the read-retry trio: Rocks on an aged cube
@@ -371,14 +396,14 @@ func main() {
 	}
 
 	if !stopping.Load() {
-		off, err := runTelemetry("telemetry-off-mixed", false, *requests, *seed)
+		off, err := runTelemetry("telemetry-off-mixed", "off", *requests, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		rep.Benches = append(rep.Benches, off)
 		if !stopping.Load() {
-			on, err := runTelemetry("telemetry-on-mixed", true, *requests, *seed)
+			on, err := runTelemetry("telemetry-on-mixed", "full", *requests, *seed)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -386,6 +411,20 @@ func main() {
 			rep.Benches = append(rep.Benches, on)
 			if off.SimNs > 0 {
 				rep.TelemetryOverheadPct = 100 * (float64(on.SimNs) - float64(off.SimNs)) / float64(off.SimNs)
+			}
+			if off.WallMs > 0 {
+				rep.TelemetryFullWallPct = 100 * (on.WallMs - off.WallMs) / off.WallMs
+			}
+		}
+		if !stopping.Load() {
+			sampled, err := runTelemetry("telemetry-sampled-mixed", "sampled", *requests, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rep.Benches = append(rep.Benches, sampled)
+			if off.WallMs > 0 {
+				rep.TelemetrySampledWallPct = 100 * (sampled.WallMs - off.WallMs) / off.WallMs
 			}
 		}
 	}
@@ -465,8 +504,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: %d scenarios (rev %s, seed %d): 2x4 speedup %.2fx, telemetry overhead %.2f%%, fleet 8x scale %.2fx, retry p99 gain %.1f%%\n",
-		*out, len(rep.Benches), rep.GitRev, rep.Seed, rep.ScaleSpeedup2x4, rep.TelemetryOverheadPct, rep.FleetScale8x, rep.RetryP99GainPct)
+	fmt.Printf("%s: %d scenarios (rev %s, seed %d): 2x4 speedup %.2fx, telemetry sim overhead %.2f%% (wall: full %+.0f%%, sampled %+.0f%%), fleet 8x scale %.2fx, retry p99 gain %.1f%%\n",
+		*out, len(rep.Benches), rep.GitRev, rep.Seed, rep.ScaleSpeedup2x4, rep.TelemetryOverheadPct,
+		rep.TelemetryFullWallPct, rep.TelemetrySampledWallPct, rep.FleetScale8x, rep.RetryP99GainPct)
 	for _, b := range rep.Benches {
 		fmt.Printf("  %-22s %8.0f IOPS  rp99 %8dns  wp99 %8dns  wall %7.1fms",
 			b.Name, b.IOPS, b.ReadP99Ns, b.WriteP99Ns, b.WallMs)

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"cubeftl"
+	"cubeftl/internal/obs"
 )
 
 func main() {
@@ -56,6 +57,12 @@ func main() {
 	prefill := flag.Int64("prefill", 0, "sequentially map the first N pages of each shard before replay")
 	repeat := flag.Int("repeat", 1, "replay the trace N times back to back")
 	fleetMax := flag.Int("fleet-max-requests", 0, "cap total fleet requests after repeat expansion (0 = all)")
+
+	statsOut := flag.String("stats-out", "", "write the merged fleet time series (one JSON object per interval) to this file")
+	statsIvl := flag.Duration("stats-interval", time.Millisecond, "simulated time between fleet series samples")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics for the run on this address (e.g. 127.0.0.1:9090)")
+	var profile obs.ProfileConfig
+	profile.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *tracePath == "" {
@@ -68,6 +75,15 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
+
+	if err := profile.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := profile.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "cubefleet: profiling:", err)
+		}
+	}()
 
 	topt := cubeftl.TraceReplayOptions{
 		Format:          *format,
@@ -109,7 +125,25 @@ func main() {
 		return
 	}
 
-	st, err := cubeftl.RunFleet(cubeftl.FleetOptions{
+	var statsW *os.File
+	if *statsOut != "" {
+		statsW, err = os.Create(*statsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer statsW.Close()
+	}
+	var fleetObs *cubeftl.FleetObs
+	if *metricsAddr != "" {
+		fleetObs, err = cubeftl.StartFleetObs(*metricsAddr, *shards)
+		if err != nil {
+			fatal(err)
+		}
+		defer fleetObs.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", fleetObs.Addr())
+	}
+
+	fopts := cubeftl.FleetOptions{
 		Shards:          *shards,
 		Tenants:         *tenants,
 		Placement:       *placement,
@@ -130,13 +164,25 @@ func main() {
 		PrefillPages:    *prefill,
 		Repeat:          *repeat,
 		MaxRequests:     *fleetMax,
-	}, *tracePath, f, topt)
+		SampleInterval:  *statsIvl,
+		Obs:             fleetObs,
+	}
+	if statsW != nil {
+		fopts.StatsOut = statsW
+	}
+	if *statsOut == "" && *metricsAddr == "" {
+		fopts.SampleInterval = 0 // no sink requested: skip sampling
+	}
+	st, err := cubeftl.RunFleet(fopts, *tracePath, f, topt)
 	if err != nil {
 		fatal(err)
 	}
 	// The deterministic report goes to stdout; wall clock — the one
 	// number the host scheduler owns — goes to stderr.
 	fmt.Print(st.Report)
+	if st.SeriesSamples > 0 && *statsOut != "" {
+		fmt.Fprintf(os.Stderr, "series: wrote %d samples to %s\n", st.SeriesSamples, *statsOut)
+	}
 	fmt.Fprintf(os.Stderr, "wall: %v\n", st.Wall)
 }
 

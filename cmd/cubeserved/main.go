@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"cubeftl"
+	"cubeftl/internal/obs"
 	"cubeftl/internal/server"
 )
 
@@ -40,7 +42,13 @@ func main() {
 		width    = flag.Int("width", 0, "dispatch width across queues (0 = sum of depths)")
 		slo      = flag.Bool("slo", false, "enable the online SLO controller")
 		sloIvl   = flag.Duration("slo-interval", 2*time.Millisecond, "simulated time between SLO decisions")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz on this address (e.g. 127.0.0.1:9090)")
+		eventsOut   = flag.String("events-out", "", "append the structured JSONL event log (SLO decisions, chaos ops, recovery verdicts) to this file")
+		spanSample  = flag.Int("span-sample", 0, "trace 1 in N device operations (0 = default 16; 1 = every op)")
 	)
+	var profile obs.ProfileConfig
+	profile.RegisterFlags(flag.CommandLine)
 	var tenants []server.TenantDef
 	flag.Func("tenant", "tenant spec: name[,weight=N][,depth=N][,prio=N][,rate=IOPS][,slo=DUR] (repeatable)",
 		func(spec string) error {
@@ -61,6 +69,27 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
+	if err := profile.Start(); err != nil {
+		logger.Fatalf("cubeserved: %v", err)
+	}
+	defer func() {
+		if err := profile.Stop(); err != nil {
+			logger.Printf("cubeserved: profiling: %v", err)
+		}
+	}()
+	var eventsFile *os.File
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			logger.Fatalf("cubeserved: %v", err)
+		}
+		eventsFile = f
+		defer eventsFile.Close()
+	}
+	var eventsW io.Writer
+	if eventsFile != nil {
+		eventsW = eventsFile
+	}
 	srv, err := server.New(server.Config{
 		Device: cubeftl.Options{
 			FTL:            *ftlKind,
@@ -76,6 +105,9 @@ func main() {
 		SLO:           server.SLOConfig{Enabled: *slo, Interval: *sloIvl},
 		PrefillPages:  *prefill,
 		Logf:          logger.Printf,
+		MetricsAddr:   *metricsAddr,
+		EventsOut:     eventsW,
+		SpanSample:    *spanSample,
 	})
 	if err != nil {
 		logger.Fatalf("cubeserved: %v", err)

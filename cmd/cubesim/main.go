@@ -62,9 +62,7 @@ func main() {
 	flag.DurationVar(&obs.statsInterval, "stats-interval", time.Millisecond, "simulated time between -stats-out snapshots")
 	flag.BoolVar(&obs.breakdown, "breakdown", false, "print per-stage latency attribution after the run")
 	flag.IntVar(&obs.killDie, "killdie", -1, "chaos: make one die fail every program and erase (degrades it mid-run)")
-	flag.StringVar(&obs.cpuProfile, "cpuprofile", "", "write a CPU profile of the simulator process to this file")
-	flag.StringVar(&obs.memProfile, "memprofile", "", "write a heap profile at exit to this file")
-	flag.StringVar(&obs.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	obs.profile.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := validateTopology(*channels, *dies); err != nil {

@@ -5,14 +5,11 @@ package main
 
 import (
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"time"
 
 	"cubeftl"
+	"cubeftl/internal/obs"
 )
 
 // obsConfig collects the observability and profiling flag values.
@@ -22,12 +19,9 @@ type obsConfig struct {
 	statsInterval time.Duration
 	breakdown     bool
 	killDie       int
-	cpuProfile    string
-	memProfile    string
-	pprofAddr     string
+	profile       obs.ProfileConfig
 
 	statsFile *os.File
-	cpuFile   *os.File
 }
 
 // telemetryWanted reports whether any telemetry sink was requested.
@@ -37,52 +31,10 @@ func (o *obsConfig) telemetryWanted() bool {
 
 // startProfiling begins CPU profiling and the pprof HTTP listener.
 // Call stopProfiling at exit.
-func (o *obsConfig) startProfiling() error {
-	if o.pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
-			}
-		}()
-		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", o.pprofAddr)
-	}
-	if o.cpuProfile == "" {
-		return nil
-	}
-	f, err := os.Create(o.cpuProfile)
-	if err != nil {
-		return err
-	}
-	if err := pprof.StartCPUProfile(f); err != nil {
-		f.Close()
-		return err
-	}
-	o.cpuFile = f
-	return nil
-}
+func (o *obsConfig) startProfiling() error { return o.profile.Start() }
 
 // stopProfiling flushes the CPU profile and writes the heap profile.
-func (o *obsConfig) stopProfiling() error {
-	if o.cpuFile != nil {
-		pprof.StopCPUProfile()
-		if err := o.cpuFile.Close(); err != nil {
-			return err
-		}
-		o.cpuFile = nil
-	}
-	if o.memProfile != "" {
-		f, err := os.Create(o.memProfile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		runtime.GC() // settle allocations so the heap profile is stable
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+func (o *obsConfig) stopProfiling() error { return o.profile.Stop() }
 
 // startTelemetry enables the telemetry layer on dev per the flags (after
 // prefill/ResetStats so measurements cover only the measured run) and

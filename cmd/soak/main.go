@@ -8,7 +8,11 @@
 //     end-to-end via per-LPN stat probes and against the durability
 //     ledger by the post-mount verifier);
 //   - no stuck clients: every worker keeps completing calls and
-//     finishes within its retry budget.
+//     finishes within its retry budget;
+//   - honest observability: a /metrics scrape mid-chaos serves the
+//     required families, every slo_tighten event in the structured log
+//     carries its triggering p99 breach, and every remount event
+//     carries a verify-pass verdict.
 //
 // With -ab it runs the identical scenario twice — static weights, then
 // the online SLO controller — and reports the protected tenant's read
@@ -21,9 +25,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +38,7 @@ import (
 	"cubeftl"
 	"cubeftl/internal/metrics"
 	"cubeftl/internal/server"
+	"cubeftl/internal/telemetry"
 )
 
 const (
@@ -105,6 +113,7 @@ type legResult struct {
 	recoveries  int64
 	adjustments int
 	breaches    int64
+	events      int64
 
 	workerErrs []string
 	auditErrs  []string
@@ -122,8 +131,8 @@ func (r *legResult) print(w *os.File) {
 	}
 	fmt.Fprintf(w, "\n[%s] %d ops, %d acked writes (%d dup-acked), %d retries, %d dials, %d cuts/%d recoveries\n",
 		mode, r.ops, r.writesAcked, r.dupAcks, r.retries, r.dials, r.cuts, r.recoveries)
-	fmt.Fprintf(w, "[%s] lat read p99 %v, bulk read p99 %v, %d SLO adjustments (%d breaches)\n",
-		mode, r.latReadP99, r.bulkReadP99, r.adjustments, r.breaches)
+	fmt.Fprintf(w, "[%s] lat read p99 %v, bulk read p99 %v, %d SLO adjustments (%d breaches), %d events logged\n",
+		mode, r.latReadP99, r.bulkReadP99, r.adjustments, r.breaches, r.events)
 	for _, e := range r.workerErrs {
 		fmt.Fprintf(w, "[%s] WORKER FAIL: %s\n", mode, e)
 	}
@@ -191,6 +200,9 @@ func runLeg(cfg config, slo bool) *legResult {
 		},
 		PrefillPages: 2048,
 		Logf:         logf,
+		// Observability plane on: live /metrics plus the structured event
+		// log the post-run audit replays.
+		MetricsAddr: "127.0.0.1:0",
 	})
 	if err != nil {
 		res.workerErrs = append(res.workerErrs, fmt.Sprintf("server: %v", err))
@@ -315,6 +327,8 @@ func runLeg(cfg config, slo bool) *legResult {
 		}
 	}
 
+	auditObservability(srv, cfg, res)
+
 	// Collect results.
 	latReads, bulkReads := metrics.NewHist(0), metrics.NewHist(0)
 	for _, w := range workers {
@@ -349,6 +363,84 @@ func runLeg(cfg config, slo bool) *legResult {
 	}
 	srv.Close()
 	return res
+}
+
+// auditObservability checks the observability plane against what the
+// leg actually did: the live /metrics endpoint must serve the required
+// families, and the structured event log must justify itself — every
+// SLO tightening with a p99 breach, every remount with a verify-pass
+// verdict, and chaos-op counts matching the server's own counters.
+func auditObservability(srv *server.Server, cfg config, res *legResult) {
+	fail := func(format string, args ...any) {
+		res.auditErrs = append(res.auditErrs, fmt.Sprintf(format, args...))
+	}
+
+	addr := srv.MetricsAddr()
+	if addr == "" {
+		fail("observability: no /metrics address bound")
+	} else {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			fail("observability: scrape: %v", err)
+		} else {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				fail("observability: /metrics status %d", resp.StatusCode)
+			}
+			for _, fam := range []string{
+				"cube_server_up 1",
+				`cube_tenant_read_p99_ns{tenant="lat"}`,
+				"cube_slo_enabled",
+				"cube_cube_retry_hits",
+				"cube_ftl_die_0_degraded",
+				"cube_events_total",
+			} {
+				if !strings.Contains(string(body), fam) {
+					fail("observability: /metrics missing %q", fam)
+				}
+			}
+		}
+	}
+
+	evs := srv.Events()
+	res.events = int64(len(evs))
+	var cuts, remounts, kills int64
+	for _, ev := range evs {
+		switch ev.Type {
+		case telemetry.EvSLOTighten:
+			if ev.Fields["p99_ns"] <= ev.Fields["target_ns"] {
+				fail("event audit: slo_tighten for %s without a p99 breach (p99 %.0fns <= target %.0fns)",
+					ev.Tenant, ev.Fields["p99_ns"], ev.Fields["target_ns"])
+			}
+		case telemetry.EvRemount:
+			remounts++
+			if ev.Fields["verified"] != 1 {
+				fail("event audit: remount at sim %dns without a verify-pass verdict", ev.SimNs)
+			}
+		case telemetry.EvPowerCut:
+			cuts++
+		case telemetry.EvDieKill:
+			kills++
+		}
+	}
+	st := srv.Stats()
+	if cuts != st.PowerCuts {
+		fail("event audit: %d power_cut events, server counted %d", cuts, st.PowerCuts)
+	}
+	if remounts != st.Recoveries {
+		fail("event audit: %d remount events, server counted %d recoveries", remounts, st.Recoveries)
+	}
+	// The die kill is timing-dependent (it may race a restart or the
+	// deadline), so its event count is not asserted — but if one was
+	// logged, it must name the requested die.
+	if kills > 0 {
+		for _, ev := range evs {
+			if ev.Type == telemetry.EvDieKill && int(ev.Fields["die"]) != cfg.killDie {
+				fail("event audit: die_kill names die %.0f, requested %d", ev.Fields["die"], cfg.killDie)
+			}
+		}
+	}
 }
 
 // run is one worker's live loop: lat tenants read-heavy, bulk tenants

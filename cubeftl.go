@@ -657,6 +657,12 @@ type TelemetryConfig struct {
 	// from the ring, so long runs retain a representative sample beyond
 	// the tail. Default 4096; negative disables the reservoir.
 	TraceReservoir int
+	// SpanSample traces one in every SpanSample host commands (and the
+	// matching fraction of device op events); 0 or 1 traces everything.
+	// The sample is systematic with a seed-derived phase, so fixed-seed
+	// replays trace the exact same commands, and the simulation itself
+	// is untouched (same IOPS, same TraceHash) — see DESIGN.md §16.
+	SpanSample int
 }
 
 // EnableTelemetry turns on the observability layer: the central metrics
@@ -672,6 +678,7 @@ func (s *SSD) EnableTelemetry(cfg TelemetryConfig) {
 			ReservoirSize: cfg.TraceReservoir,
 		})
 	}
+	hub.SetSpanSample(cfg.SpanSample)
 	s.ctrl.SetTelemetry(hub)
 	s.registerFacadeGauges(hub)
 	s.hub = hub
@@ -713,6 +720,20 @@ func (s *SSD) registerFacadeGauges(hub *telemetry.Hub) {
 	} {
 		p := src
 		reg.RegisterGauge(name, func() float64 { return float64(*p) })
+	}
+	// Cube-flavor decision counters (all zero on non-cube FTLs): the
+	// ORT and per-(block,layer) retry-table hit/stale/miss rates are
+	// the health signals DESIGN.md §15 steers on.
+	for name, get := range map[string]func(CubeStats) int64{
+		"cube/ort/hits":      func(c CubeStats) int64 { return c.ORTHits },
+		"cube/ort/misses":    func(c CubeStats) int64 { return c.ORTMisses },
+		"cube/retry/hits":    func(c CubeStats) int64 { return c.RetryHits },
+		"cube/retry/stale":   func(c CubeStats) int64 { return c.RetryStale },
+		"cube/retry/misses":  func(c CubeStats) int64 { return c.RetryMisses },
+		"cube/retry/entries": func(c CubeStats) int64 { return c.RetryEntries },
+	} {
+		g := get
+		reg.RegisterGauge(name, func() float64 { return float64(g(s.Cube())) })
 	}
 }
 

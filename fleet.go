@@ -11,6 +11,7 @@ import (
 
 	"cubeftl/internal/cache"
 	"cubeftl/internal/fleet"
+	"cubeftl/internal/telemetry"
 	"cubeftl/internal/workload"
 )
 
@@ -147,6 +148,18 @@ type FleetOptions struct {
 	// MaxRequests bounds the fleet-wide request count (0 = all).
 	Repeat      int
 	MaxRequests int
+
+	// SampleInterval enables per-shard sim-clock sampling; the shard
+	// streams merge into a deterministic fleet time series written to
+	// StatsOut as JSONL. Defaults to 1ms when a sink is attached but no
+	// interval given; 0 with no sink disables sampling.
+	SampleInterval time.Duration
+	// StatsOut receives the merged fleet series, one JSON object per
+	// sampling interval (nil = discard the series).
+	StatsOut io.Writer
+	// Obs attaches a live /metrics endpoint (StartFleetObs) that serves
+	// each shard's latest sample while the run is in flight.
+	Obs *FleetObs
 }
 
 // FleetShardStats is one shard's summary of a fleet run.
@@ -180,8 +193,42 @@ type FleetStats struct {
 	// TraceHash chains every shard's arbitration hash in shard order.
 	TraceHash uint64
 
+	// SeriesSamples is the number of merged fleet time-series rows
+	// collected (0 unless SampleInterval/StatsOut/Obs enabled sampling).
+	SeriesSamples int
+
 	Shards []FleetShardStats
 }
+
+// FleetObs is a live observability endpoint for a fleet run: while the
+// shards replay, /metrics serves each shard's most recent sim-clock
+// sample (progress, backlog, cache hit counters, windowed read p99)
+// plus fleet aggregates, in Prometheus text exposition. Pass it via
+// FleetOptions.Obs; Close it when done.
+type FleetObs struct {
+	live *fleet.LiveView
+	srv  *telemetry.ObsServer
+}
+
+// StartFleetObs binds addr (host:port, :0 for ephemeral) and serves
+// /metrics for a fleet of the given shard count.
+func StartFleetObs(addr string, shards int) (*FleetObs, error) {
+	if shards <= 0 {
+		shards = fleet.DefaultConfig().Shards
+	}
+	o := &FleetObs{live: fleet.NewLiveView(shards), srv: telemetry.NewObsServer()}
+	o.srv.SetMetrics(o.live.WriteMetrics)
+	if _, err := o.srv.Start(addr); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Addr returns the bound listen address.
+func (o *FleetObs) Addr() string { return o.srv.Addr() }
+
+// Close shuts the endpoint down.
+func (o *FleetObs) Close() error { return o.srv.Close() }
 
 func (o FleetOptions) toConfig() (fleet.Config, error) {
 	mode, err := cache.ParseMode(o.CacheMode)
@@ -235,6 +282,13 @@ func RunFleet(opts FleetOptions, traceName string, r io.Reader, topt TraceReplay
 	if err != nil {
 		return FleetStats{}, err
 	}
+	cfg.SampleIntervalNs = int64(opts.SampleInterval)
+	if cfg.SampleIntervalNs <= 0 && (opts.StatsOut != nil || opts.Obs != nil) {
+		cfg.SampleIntervalNs = int64(time.Millisecond)
+	}
+	if opts.Obs != nil {
+		cfg.Live = opts.Obs.live
+	}
 	res, err := fleet.Run(cfg, tr)
 	if err != nil {
 		return FleetStats{}, err
@@ -253,6 +307,12 @@ func RunFleet(opts FleetOptions, traceName string, r io.Reader, topt TraceReplay
 		SimElapsed:  time.Duration(res.SimElapsedNs),
 		Wall:        time.Duration(res.WallNs),
 		TraceHash:   res.TraceHash,
+	}
+	out.SeriesSamples = len(res.Series)
+	if opts.StatsOut != nil {
+		if err := res.SeriesJSONL(opts.StatsOut); err != nil {
+			return FleetStats{}, err
+		}
 	}
 	for _, s := range res.Shards {
 		out.Shards = append(out.Shards, FleetShardStats{

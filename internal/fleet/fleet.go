@@ -109,6 +109,17 @@ type Config struct {
 	// synthesis: trace extents within the same aligned window of this
 	// many pages belong to the same tenant (default 2048).
 	TenantExtentPages int64
+
+	// SampleIntervalNs enables per-shard sim-clock sampling every given
+	// simulated nanoseconds; the per-shard streams merge into
+	// Result.Series (0 = sampling off). Sampling is pure observation —
+	// it never schedules events, so the replay is bit-identical with it
+	// on or off.
+	SampleIntervalNs int64
+	// Live, when non-nil, receives each shard's latest sample as it is
+	// taken, for a concurrent /metrics scrape of a run in flight. The
+	// live view never enters the deterministic report or series.
+	Live *LiveView
 }
 
 // DefaultConfig returns the standard fleet setup: 4 shards, 1024

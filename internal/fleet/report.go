@@ -46,6 +46,11 @@ type ShardResult struct {
 	HostWrites int64
 	GCCount    int64
 	Degraded   bool
+
+	// Samples is the shard's sim-clock sample stream (empty unless
+	// Config.SampleIntervalNs > 0). Always ends with a tail sample at
+	// quiesce time.
+	Samples []ShardSample
 }
 
 // Result aggregates a fleet run. Everything except WallNs is a pure
@@ -72,6 +77,11 @@ type Result struct {
 	// TraceHash chains every shard's grant-sequence hash in shard
 	// order: equal fleet hashes mean every shard replayed identically.
 	TraceHash uint64
+
+	// Series is the merged fleet time series (empty unless sampling was
+	// enabled): per-shard streams folded in fixed shard order. Render
+	// with SeriesJSONL.
+	Series []FleetSample
 
 	// WallNs is the measured host wall-clock time of the shard
 	// goroutines. It is reported separately and never included in
@@ -103,6 +113,7 @@ func merge(cfg Config, placement string, shards []ShardResult) *Result {
 		}
 		res.TraceHash = fnvMix(res.TraceHash, s.TraceHash)
 	}
+	res.Series = mergeSeries(shards)
 	return res
 }
 

@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The merged fleet series must be byte-stable for a fixed seed+trace
+// regardless of goroutine scheduling, and attaching a live view (the
+// concurrent /metrics reader path) must not change a single byte.
+func TestFleetSeriesDeterministic(t *testing.T) {
+	tr := synthTrace(1500)
+	cfg := smallConfig()
+	cfg.SampleIntervalNs = 3_000_000 // 3ms of simulated time
+
+	var first []byte
+	var hash uint64
+	for i := 0; i < 3; i++ {
+		c := cfg
+		if i == 2 {
+			c.Live = NewLiveView(c.Shards)
+		}
+		res, err := Run(c, tr)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		var buf bytes.Buffer
+		if err := res.SeriesJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first, hash = buf.Bytes(), res.TraceHash
+			if len(res.Series) == 0 {
+				t.Fatal("sampling enabled but series empty")
+			}
+			last := res.Series[len(res.Series)-1]
+			if last.Completed != res.Requests {
+				t.Errorf("final series row completed=%d, result requests=%d",
+					last.Completed, res.Requests)
+			}
+			if len(last.Shards) != c.Shards {
+				t.Errorf("final row carries %d shards, want %d", len(last.Shards), c.Shards)
+			}
+			continue
+		}
+		if !bytes.Equal(first, buf.Bytes()) {
+			t.Errorf("run %d: series JSONL differs (live view attached: %v)", i, c.Live != nil)
+		}
+		if res.TraceHash != hash {
+			t.Errorf("run %d: trace hash %016x != %016x", i, res.TraceHash, hash)
+		}
+	}
+}
+
+// Sampling is pure observation: enabling it must not perturb the
+// replay. The grant-sequence hash and the report are the witnesses.
+func TestFleetSamplingIsPassive(t *testing.T) {
+	tr := synthTrace(1200)
+	cfg := smallConfig()
+	off, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SampleIntervalNs = 1_000_000
+	on, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.TraceHash != on.TraceHash {
+		t.Errorf("sampling perturbed replay: hash %016x vs %016x", off.TraceHash, on.TraceHash)
+	}
+	if off.Report() != on.Report() {
+		t.Error("sampling changed the deterministic report")
+	}
+	if len(off.Series) != 0 {
+		t.Errorf("sampling off but %d series rows", len(off.Series))
+	}
+}
+
+// Carry-forward: a shard that quiesces early still appears in later
+// rows with its counters standing and its window zeroed.
+func TestFleetSeriesCarryForward(t *testing.T) {
+	shards := []ShardResult{
+		{Shard: 0, Samples: []ShardSample{
+			{Shard: 0, TsNs: 10, Completed: 5, WindowIOs: 5, ReadP99Ns: 700},
+			{Shard: 0, TsNs: 20, Completed: 9, WindowIOs: 4, ReadP99Ns: 900},
+		}},
+		{Shard: 1, Samples: []ShardSample{
+			{Shard: 1, TsNs: 10, Completed: 3, WindowIOs: 3, ReadP99Ns: 400},
+		}},
+	}
+	series := mergeSeries(shards)
+	if len(series) != 2 {
+		t.Fatalf("rows = %d", len(series))
+	}
+	row := series[1]
+	if row.Completed != 12 || row.TsNs != 20 {
+		t.Errorf("row 1 completed=%d ts=%d, want 12/20", row.Completed, row.TsNs)
+	}
+	carried := row.Shards[1]
+	if carried.Completed != 3 || carried.WindowIOs != 0 || carried.ReadP99Ns != 0 {
+		t.Errorf("carried sample not window-zeroed: %+v", carried)
+	}
+	if row.ReadP99NsMax != 900 {
+		t.Errorf("p99 max = %d", row.ReadP99NsMax)
+	}
+}
+
+// The live view renders the latest per-shard samples as valid
+// exposition with per-shard labels and fleet aggregates.
+func TestLiveViewMetrics(t *testing.T) {
+	v := NewLiveView(2)
+	v.publish(&ShardSample{Shard: 0, TsNs: 100, Completed: 40, Reads: 30, Writes: 10,
+		CacheHits: 20, CacheMisses: 10, ReadP99Ns: 800, WindowIOs: 12})
+	v.publish(&ShardSample{Shard: 1, TsNs: 90, Completed: 20, Reads: 10, Writes: 10,
+		Degraded: true, ReadP99Ns: 1500, WindowIOs: 6})
+
+	var buf bytes.Buffer
+	if err := v.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"cube_fleet_shards 2",
+		"cube_fleet_completed 60",
+		`cube_fleet_shard_completed{shard="0"} 40`,
+		`cube_fleet_shard_degraded{shard="1"} 1`,
+		"cube_fleet_degraded_shards 1",
+		"cube_fleet_read_p99_ns_max 1500",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("live metrics missing %q", want)
+		}
+	}
+
+	// Re-publishing shard 0 replaces its row.
+	v.publish(&ShardSample{Shard: 0, TsNs: 200, Completed: 80})
+	snap := v.Snapshot()
+	if len(snap) != 2 || snap[0].Completed != 80 {
+		t.Errorf("snapshot after republish: %+v", snap)
+	}
+}

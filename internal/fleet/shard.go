@@ -43,6 +43,7 @@ type shardRunner struct {
 
 	readLat  *metrics.Hist // host-visible read latency incl. cache hits
 	writeLat *metrics.Hist
+	sampler  *shardSampler // nil when Config.SampleIntervalNs == 0
 
 	backlog   [][]shardReq // per queue: requests bounced by admission control
 	completed int64
@@ -119,8 +120,16 @@ func runShard(cfg Config, spec *shardSpec) (ShardResult, error) {
 		backlog:  make([][]shardReq, cfg.QueuesPerShard),
 		total:    int64(len(spec.reqs)),
 	}
+	if cfg.SampleIntervalNs > 0 {
+		r.sampler = newShardSampler(r, cfg.Live)
+		eng.SetProbe(sim.Time(cfg.SampleIntervalNs), func(at sim.Time) { r.sampler.take(at) })
+	}
 	replayStart := eng.Now() // prefill time is excluded from ElapsedNs
 	r.replay(logical)
+	if r.sampler != nil {
+		// Tail sample: the window since the last boundary crossing.
+		r.sampler.take(eng.Now())
+	}
 
 	st := ctrl.Stats()
 	res := ShardResult{
@@ -146,6 +155,9 @@ func runShard(cfg Config, spec *shardSpec) (ShardResult, error) {
 		HostWrites:    st.HostWrites,
 		GCCount:       st.GCCount,
 		Degraded:      ctrl.Degraded(),
+	}
+	if r.sampler != nil {
+		res.Samples = r.sampler.samples
 	}
 	return res, nil
 }
@@ -191,6 +203,7 @@ func (r *shardRunner) issue(qid int, req shardReq) {
 	if req.op == workload.Read {
 		if r.cache.Lookup(req.lpn, req.pages) {
 			r.readLat.Add(r.cfg.CacheHitNs)
+			r.sampler.observe(false, r.cfg.CacheHitNs)
 			r.eng.After(r.cfg.CacheHitNs, func() { r.finish(workload.Read) })
 			return
 		}
@@ -201,6 +214,7 @@ func (r *shardRunner) issue(qid int, req shardReq) {
 		}
 		if absorbed {
 			r.writeLat.Add(r.cfg.CacheHitNs)
+			r.sampler.observe(true, r.cfg.CacheHitNs)
 			r.eng.After(r.cfg.CacheHitNs, func() { r.finish(workload.Write) })
 			return
 		}
@@ -233,11 +247,13 @@ func (r *shardRunner) trySubmit(qid int, req shardReq) bool {
 		Done: func(c host.Completion) {
 			if req.op == workload.Read {
 				r.readLat.Add(c.LatencyNs)
+				r.sampler.observe(false, c.LatencyNs)
 				for _, lpn := range r.cache.FillRead(req.lpn, req.pages) {
 					r.deviceFlush(lpn)
 				}
 			} else {
 				r.writeLat.Add(c.LatencyNs)
+				r.sampler.observe(true, c.LatencyNs)
 			}
 			r.finish(req.op)
 			r.drainBacklog(qid)

@@ -351,6 +351,21 @@ func (c *Controller) SetTelemetry(hub *telemetry.Hub) {
 		i := i
 		reg.RegisterHist(fmt.Sprintf("ftl/die/%d/prog_ns", i),
 			func() *metrics.Hist { return c.progHists[i] })
+		// Per-die health gauges: degraded (FTL read-only verdict) and
+		// fenced (device-level program refusal). They normally flip
+		// together, but fencing lands first — the gap is observable.
+		reg.RegisterGauge(fmt.Sprintf("ftl/die/%d/degraded", i), func() float64 {
+			if c.dieDegraded[i] {
+				return 1
+			}
+			return 0
+		})
+		reg.RegisterGauge(fmt.Sprintf("ftl/die/%d/fenced", i), func() float64 {
+			if c.dev.DieFenced(i) {
+				return 1
+			}
+			return 0
+		})
 	}
 	// Host-latency histograms resolve through closures because
 	// ResetStats replaces the Hist values.
@@ -801,8 +816,10 @@ func (c *Controller) flushTo(chip int, group []FlushHandle) {
 		c.stats.ProgramNs += res.LatencyNs
 		if c.hub != nil {
 			c.progHists[chip].Add(res.LatencyNs)
-			c.hub.Event(telemetry.PidFTL, chip, "flush", issueAt, c.eng.Now()-issueAt,
-				map[string]int64{"pages": int64(len(group)), "block": int64(block)})
+			if c.hub.Tracing() {
+				c.hub.Event(telemetry.PidFTL, chip, "flush", issueAt, c.eng.Now()-issueAt,
+					map[string]int64{"pages": int64(len(group)), "block": int64(block)})
+			}
 		}
 
 		verdict := c.pol.ObserveProgram(chip, block, layer, wl, params, res)
@@ -881,6 +898,7 @@ func (c *Controller) retireBlock(chip, block int) {
 	}
 	c.retired[chip][block] = true
 	c.stats.RetiredBlocks++
+	c.emitRetireEvent(chip, block)
 	c.dev.Chip(chip).NAND.MarkBadBlock(block)
 	if c.rec != nil {
 		c.rec.NoteRetired(chip, block)
@@ -889,6 +907,18 @@ func (c *Controller) retireBlock(chip, block int) {
 		c.evacuate(chip, block)
 	}
 	c.checkDieDegraded(chip)
+}
+
+// emitRetireEvent logs a grown-bad retirement to the structured event
+// log (when one is attached to the hub).
+func (c *Controller) emitRetireEvent(chip, block int) {
+	if c.hub.EventLog() == nil {
+		return
+	}
+	c.hub.EmitEvent(telemetry.Event{
+		Type:   telemetry.EvBlockRetire,
+		Fields: map[string]float64{"chip": float64(chip), "block": float64(block)},
+	})
 }
 
 // evacuate relocates a retired block's live pages through the GC
@@ -930,6 +960,12 @@ func (c *Controller) markDieDegraded(die int) {
 	c.stats.DegradedDies++
 	if c.hub != nil {
 		c.hub.Instant(telemetry.PidFTL, die, "die_degraded")
+	}
+	if c.hub.EventLog() != nil {
+		c.hub.EmitEvent(telemetry.Event{
+			Type:   telemetry.EvDieDegraded,
+			Fields: map[string]float64{"die": float64(die)},
+		})
 	}
 	if c.rec != nil {
 		c.rec.NoteDieDegraded(die)
@@ -1159,8 +1195,10 @@ func (c *Controller) gcWrite(chip, victim int, batch []LPN, data [][]byte, rest 
 		c.stats.ProgramNs += res.LatencyNs
 		if c.hub != nil {
 			c.progHists[chip].Add(res.LatencyNs)
-			c.hub.Event(telemetry.PidFTL, chip, "gc_write", issueAt, c.eng.Now()-issueAt,
-				map[string]int64{"pages": int64(len(batch)), "victim": int64(victim)})
+			if c.hub.Tracing() {
+				c.hub.Event(telemetry.PidFTL, chip, "gc_write", issueAt, c.eng.Now()-issueAt,
+					map[string]int64{"pages": int64(len(batch)), "victim": int64(victim)})
+			}
 		}
 		verdict := c.pol.ObserveProgram(chip, block, layer, wl, params, res)
 		if verdict == VerdictReprogram {
@@ -1232,6 +1270,7 @@ func (c *Controller) finishGC(chip, victim int) {
 				if !c.retired[chip][victim] {
 					c.retired[chip][victim] = true
 					c.stats.RetiredBlocks++
+					c.emitRetireEvent(chip, victim)
 					if c.rec != nil {
 						c.rec.NoteRetired(chip, victim)
 					}

@@ -10,7 +10,7 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Summary accumulates online mean/min/max/variance (Welford's algorithm).
@@ -91,7 +91,11 @@ func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
 type Hist struct {
 	samples  []int64
 	capacity int
-	sorted   bool
+	// samples[:sortedLen] is known sorted; Adds append past it. A
+	// percentile query sorts only the unsorted tail and merges it in,
+	// so a periodic sampler interleaving Adds with quantile reads pays
+	// O(new + n) per tick instead of re-sorting the whole history.
+	sortedLen int
 
 	// Bucketed mode (after overflow).
 	bucketed bool
@@ -126,7 +130,6 @@ func (h *Hist) Add(v int64) {
 		return
 	}
 	h.samples = append(h.samples, v)
-	h.sorted = false
 	if len(h.samples) >= h.capacity {
 		h.spill()
 	}
@@ -140,6 +143,7 @@ func (h *Hist) spill() {
 		h.buckets[bucketOf(v)]++
 	}
 	h.samples = nil
+	h.sortedLen = 0
 }
 
 // bucketOf maps a non-negative value to a log bucket index.
@@ -184,7 +188,6 @@ func (h *Hist) Merge(o *Hist) {
 	switch {
 	case !h.bucketed && !o.bucketed:
 		h.samples = append(h.samples, o.samples...)
-		h.sorted = false
 		if len(h.samples) >= h.capacity {
 			h.spill()
 		}
@@ -256,11 +259,34 @@ func (h *Hist) Percentile(p float64) int64 {
 		// than its bucket resolution holds.
 		return last
 	}
-	if !h.sorted {
-		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
-		h.sorted = true
-	}
+	h.ensureSorted()
 	return h.samples[rank-1]
+}
+
+// ensureSorted restores the full-slice sorted invariant by sorting the
+// tail appended since the last query and merging it into the sorted
+// prefix (classic back-to-front merge, O(tail) extra space).
+func (h *Hist) ensureSorted() {
+	if h.sortedLen == len(h.samples) {
+		return
+	}
+	tail := h.samples[h.sortedLen:]
+	slices.Sort(tail)
+	if h.sortedLen > 0 {
+		tmp := slices.Clone(tail)
+		i, j, k := h.sortedLen-1, len(tmp)-1, len(h.samples)-1
+		for j >= 0 {
+			if i >= 0 && h.samples[i] > tmp[j] {
+				h.samples[k] = h.samples[i]
+				i--
+			} else {
+				h.samples[k] = tmp[j]
+				j--
+			}
+			k--
+		}
+	}
+	h.sortedLen = len(h.samples)
 }
 
 // CDFPoint is one point of a cumulative distribution.

@@ -2,11 +2,13 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"cubeftl"
+	"cubeftl/internal/telemetry"
 )
 
 // TenantDef declares one tenant of the block service: its queue-pair
@@ -51,6 +53,19 @@ type Config struct {
 	PrefillPages int64
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
+
+	// MetricsAddr serves /metrics (Prometheus text exposition),
+	// /healthz, and /readyz on this address (e.g. "127.0.0.1:9100");
+	// empty disables the observability endpoint. See DESIGN.md §16.
+	MetricsAddr string
+	// EventsOut streams the structured event log (SLO decisions, chaos
+	// ops, recovery verdicts, block retirements) as JSONL. nil keeps
+	// events in memory only; they remain readable via Server.Events.
+	EventsOut io.Writer
+	// SpanSample sets the device telemetry span-sampling period used
+	// when the observability plane is on (0 = 1-in-16; 1 = trace every
+	// command's stage attribution).
+	SpanSample int
 }
 
 // Stats counts server-level events. All fields are owned by the core
@@ -186,7 +201,14 @@ type Server struct {
 	sessions   map[uint64]*session
 	nextClient uint64
 	up         bool
+	draining   bool
 	stats      Stats
+
+	// Observability plane (obs.go). events is always non-nil; obsSrv
+	// and obsWin only when Config.MetricsAddr is set.
+	events *telemetry.EventLog
+	obsSrv *telemetry.ObsServer
+	obsWin []obsWindow
 
 	// Knob positions captured at power cut, re-applied on recovery.
 	savedWeights []int
@@ -238,6 +260,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.slo = newSLOController(cfg.SLO, s.fe, cfg.Tenants)
+	s.initObs()
 	return s, nil
 }
 
@@ -262,6 +285,10 @@ func (s *Server) Start(addr string) error {
 		return err
 	}
 	s.ln = ln
+	if err := s.startObsServer(); err != nil {
+		ln.Close()
+		return err
+	}
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.coreLoop()
@@ -547,6 +574,7 @@ func (s *Server) handleIO(c *conn, r IORequest) {
 			// trust across power loss.
 			sess.ack(seq)
 			s.slo.observe(queue, true, int64(ic.Latency))
+			s.obsObserve(queue, true, int64(ic.Latency))
 			s.trySend(c, AppendIOReply(nil, IOReply{Seq: seq, Status: StatusOK, LatencyNs: int64(ic.Latency)}))
 		})
 		if err != nil {
@@ -558,6 +586,7 @@ func (s *Server) handleIO(c *conn, r IORequest) {
 		seq, queue := r.Seq, sess.queue
 		err := s.fe.Submit(queue, false, r.LPN, pages, func(ic cubeftl.IOCompletion) {
 			s.slo.observe(queue, false, int64(ic.Latency))
+			s.obsObserve(queue, false, int64(ic.Latency))
 			s.trySend(c, AppendIOReply(nil, IOReply{Seq: seq, Status: StatusOK, LatencyNs: int64(ic.Latency)}))
 		})
 		if err != nil {
@@ -601,7 +630,16 @@ func (s *Server) PowerCut() error {
 		s.up = false
 		s.fe = nil
 		s.stats.PowerCuts++
+		dropped := len(s.conns)
 		s.dropConns(DownRestart)
+		s.events.Emit(telemetry.Event{
+			SimNs: int64(s.dev.Now()),
+			Type:  telemetry.EvPowerCut,
+			Fields: map[string]float64{
+				"sessions":      float64(len(s.sessions)),
+				"conns_dropped": float64(dropped),
+			},
+		})
 		s.logf("cubeserved: POWER CUT at %v (sessions kept: %d)", s.dev.Now(), len(s.sessions))
 	})
 	return err
@@ -632,6 +670,25 @@ func (s *Server) Recover() (cubeftl.MountReport, error) {
 		}
 		s.up = true
 		s.stats.Recoveries++
+		s.attachDeviceObs()
+		verified, ckpt := 0.0, 0.0
+		if rpt.Verified {
+			verified = 1
+		}
+		if rpt.UsedCheckpoint {
+			ckpt = 1
+		}
+		s.events.Emit(telemetry.Event{
+			SimNs: int64(s.dev.Now()),
+			Type:  telemetry.EvRemount,
+			Fields: map[string]float64{
+				"verified":        verified,
+				"used_checkpoint": ckpt,
+				"mappings":        float64(rpt.MappingsRecovered),
+				"mount_ns":        float64(rpt.MountTime),
+			},
+			Text: map[string]string{"outcome": "ok"},
+		})
 		s.logf("cubeserved: recovered in %v simulated (checkpoint=%v, %d mappings, verified=%v)",
 			rpt.MountTime, rpt.UsedCheckpoint, rpt.MappingsRecovered, rpt.Verified)
 	})
@@ -650,7 +707,15 @@ func (s *Server) Restart() (cubeftl.MountReport, error) {
 // KillDie injects certain program/erase failure on one die.
 func (s *Server) KillDie(die int) error {
 	var err error
-	s.do(func() { err = s.dev.KillDie(die) })
+	s.do(func() {
+		if err = s.dev.KillDie(die); err == nil {
+			s.events.Emit(telemetry.Event{
+				SimNs:  int64(s.dev.Now()),
+				Type:   telemetry.EvDieKill,
+				Fields: map[string]float64{"die": float64(die)},
+			})
+		}
+	})
 	return err
 }
 
@@ -701,6 +766,12 @@ func (s *Server) Close() error {
 		s.ln.Close()
 	}
 	s.do(func() {
+		s.draining = true
+		s.events.Emit(telemetry.Event{
+			SimNs:  int64(s.dev.Now()),
+			Type:   telemetry.EvServerDrain,
+			Fields: map[string]float64{"sessions": float64(len(s.sessions))},
+		})
 		s.dropConns(DownShutdown)
 		if s.up && s.fe != nil && s.fe.Outstanding() > 0 {
 			s.fe.Pump()
@@ -711,5 +782,8 @@ func (s *Server) Close() error {
 	})
 	close(s.quit)
 	s.wg.Wait()
-	return nil
+	if s.obsSrv != nil {
+		s.obsSrv.Close()
+	}
+	return s.events.Close()
 }

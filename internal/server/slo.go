@@ -6,6 +6,7 @@ import (
 
 	"cubeftl"
 	"cubeftl/internal/metrics"
+	"cubeftl/internal/telemetry"
 )
 
 // SLOConfig configures the online latency controller (DESIGN.md §13).
@@ -97,6 +98,9 @@ type sloController struct {
 
 	// Decisions is the log of every applied adjustment.
 	Decisions []Adjustment
+	// events mirrors each decision into the structured event log
+	// (slo_tighten/slo_relax with the triggering p99 and knob values).
+	events *telemetry.EventLog
 	// Breaches counts intervals where a protected tenant missed its
 	// target; Tightenings/Relaxations count applied knob turns.
 	Breaches    int64
@@ -285,6 +289,26 @@ func (sc *sloController) relax(now time.Duration, t *tenantSLO, p99 time.Duratio
 
 func (sc *sloController) record(a Adjustment) {
 	sc.Decisions = append(sc.Decisions, a)
+	if sc.events == nil {
+		return
+	}
+	typ := telemetry.EvSLORelax
+	if a.Breach {
+		typ = telemetry.EvSLOTighten
+	}
+	sc.events.Emit(telemetry.Event{
+		SimNs:  int64(a.At),
+		Type:   typ,
+		Tenant: a.Tenant,
+		Fields: map[string]float64{
+			"p99_ns":    float64(a.P99),
+			"target_ns": float64(a.Target),
+			"from":      a.From,
+			"to":        a.To,
+			"applied":   b2f(a.Applied),
+		},
+		Text: map[string]string{"what": a.What},
+	})
 }
 
 // weightsAndRates snapshots the current knob positions (for rebinding

@@ -330,7 +330,7 @@ func (d *Device) ReadProbed(die int, a nand.Address, p nand.ReadParams, pp *tele
 		}
 		d.eng.After(res.LatencyNs, func() {
 			plane.Release()
-			if d.hub != nil {
+			if d.hub.TraceOp() {
 				var args map[string]int64
 				if res.Retries > 0 {
 					args = map[string]int64{"retries": int64(res.Retries)}
@@ -387,7 +387,7 @@ func (d *Device) ProgramOOB(die int, a nand.Address, pages, oob [][]byte, p nand
 				return
 			}
 			res, err := dh.NAND.ProgramWLOOB(a, pages, oob, p)
-			if d.hub != nil && res.LatencyNs > 0 {
+			if res.LatencyNs > 0 && d.hub.TraceOp() {
 				d.hub.Event(telemetry.PidNAND, die, "tPROG", d.eng.Now(), res.LatencyNs,
 					map[string]int64{"block": int64(a.Block), "loops": int64(res.Loops)})
 			}
@@ -425,7 +425,7 @@ func (d *Device) Erase(die, block int, done func(res nand.EraseResult, err error
 	plane := dh.resFor(block)
 	plane.Acquire(func() {
 		res, err := dh.NAND.EraseBlock(block)
-		if d.hub != nil && res.LatencyNs > 0 {
+		if res.LatencyNs > 0 && d.hub.TraceOp() {
 			d.hub.Event(telemetry.PidNAND, die, "tERASE", d.eng.Now(), res.LatencyNs,
 				map[string]int64{"block": int64(block)})
 		}

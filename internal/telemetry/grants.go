@@ -45,7 +45,7 @@ func (g *GrantTrace) Grant(idx int) {
 			g.n++
 		}
 	}
-	if g.hub != nil && g.hub.tracer != nil {
+	if g.hub.TraceOp() {
 		g.hub.Instant(PidHost, idx, "grant")
 	}
 }

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestObsServerEndpoints(t *testing.T) {
+	o := NewObsServer()
+	o.SetMetrics(func(w io.Writer) error {
+		return WriteProm(w, []PromFamily{{
+			Name: "cube_up", Type: "gauge",
+			Samples: []PromSample{{Value: 1}},
+		}})
+	})
+	h := o.Handler()
+
+	code, body := get(t, h, "/metrics")
+	if code != 200 || !strings.Contains(body, "cube_up 1") {
+		t.Errorf("/metrics: %d %q", code, body)
+	}
+	if code, body = get(t, h, "/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz default: %d %q", code, body)
+	}
+	if code, _ = get(t, h, "/readyz"); code != 200 {
+		t.Errorf("/readyz default: %d", code)
+	}
+
+	o.SetReady(func() Health { return Health{OK: false, Detail: "draining"} })
+	if code, body = get(t, h, "/readyz"); code != 503 || body != "draining\n" {
+		t.Errorf("/readyz not-ready: %d %q", code, body)
+	}
+}
+
+func TestObsServerMetricsError(t *testing.T) {
+	o := NewObsServer()
+	o.SetMetrics(func(io.Writer) error { return io.ErrUnexpectedEOF })
+	code, _ := get(t, o.Handler(), "/metrics")
+	if code != 500 {
+		t.Errorf("metrics error: code %d, want 500", code)
+	}
+}
+
+func TestObsServerStartServesOverTCP(t *testing.T) {
+	o := NewObsServer()
+	addr, err := o.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if o.Addr() != addr {
+		t.Errorf("Addr() = %q, want %q", o.Addr(), addr)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if err := o.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := o.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}

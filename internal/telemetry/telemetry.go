@@ -117,9 +117,21 @@ type Hub struct {
 	stages   *StageSet
 	tracer   *Tracer
 	sampler  *Sampler
+	events   *EventLog
 	seed     uint64
 
 	nextSpanID uint64
+
+	// Span sampling: with sampleEvery > 1, BeginSpan traces only one
+	// in every sampleEvery commands (counter-based, phase-offset by a
+	// seed-derived draw) and returns nil for the rest — the datapath's
+	// nil-probe guards then skip every per-IO telemetry cost. The
+	// decision consumes no sim RNG and schedules nothing, so sampling
+	// preserves passivity by construction.
+	sampleEvery uint64
+	samplePhase uint64
+	spansSeen   uint64
+	opsSeen     uint64
 
 	tenantSrc TenantSource
 	deviceSrc DeviceSource
@@ -184,9 +196,57 @@ func (h *Hub) QueueNames() []string {
 	return names
 }
 
+// SetSpanSample configures 1-in-every span sampling. every <= 1
+// restores full tracing. The sampled subset is chosen by a command
+// counter with a seed-derived phase, so a fixed-seed replay samples
+// the exact same commands, and the stage-attribution set and tracer
+// see an unbiased systematic sample of the workload.
+func (h *Hub) SetSpanSample(every int) {
+	if every <= 1 {
+		h.sampleEvery, h.samplePhase = 0, 0
+		return
+	}
+	h.sampleEvery = uint64(every)
+	h.samplePhase = newReservoirRNG(h.seed, "span-sample").Uint64n(uint64(every))
+}
+
+// SpanSample returns the configured sampling period (0 or 1 = every
+// command is traced).
+func (h *Hub) SpanSample() int { return int(h.sampleEvery) }
+
+// Tracing reports whether a tracer is collecting, through a possibly
+// nil hub — datapath call sites use it to skip building event args
+// (maps, strings) when nothing would record them.
+func (h *Hub) Tracing() bool { return h != nil && h.tracer != nil }
+
+// TraceOp reports whether the next device operation event should be
+// recorded, advancing the op-sampling counter. With sampling off it is
+// simply Tracing(); with sampling on it passes 1-in-sampleEvery ops,
+// deterministically. Nil-safe.
+func (h *Hub) TraceOp() bool {
+	if h == nil || h.tracer == nil {
+		return false
+	}
+	if h.sampleEvery > 1 {
+		idx := h.opsSeen
+		h.opsSeen++
+		return (idx+h.samplePhase)%h.sampleEvery == 0
+	}
+	return true
+}
+
 // BeginSpan opens a span for one host command at the current simulated
-// time.
+// time. With span sampling configured it returns nil for the commands
+// outside the sample — the host's nil-span guards then skip probe
+// allocation, grant marks, and completion attribution entirely.
 func (h *Hub) BeginSpan(tenant string, queue int, op string, lpn int64, pages int) *Span {
+	if h.sampleEvery > 1 {
+		idx := h.spansSeen
+		h.spansSeen++
+		if (idx+h.samplePhase)%h.sampleEvery != 0 {
+			return nil
+		}
+	}
 	h.nextSpanID++
 	return &Span{
 		ID:       h.nextSpanID,

@@ -35,8 +35,17 @@ type Tracer struct {
 	eventCap      int
 	droppedEvents int64
 
+	// pending batches completed spans before they are folded into the
+	// ring/reservoir, amortizing the modulo/eviction/RNG work over
+	// spanFlushBatch spans. Flush order equals arrival order, so the
+	// retained set is byte-identical to unbatched insertion.
+	pending []Span
+
 	spansSeen int64
 }
+
+// spanFlushBatch is the batched ring-flush size.
+const spanFlushBatch = 64
 
 // NewTracer returns a tracer with the given retention config.
 func NewTracer(cfg TracerConfig) *Tracer {
@@ -53,6 +62,7 @@ func NewTracer(cfg TracerConfig) *Tracer {
 		ring:     make([]Span, cfg.RingSize),
 		ringCap:  cfg.RingSize,
 		eventCap: cfg.EventCap,
+		pending:  make([]Span, 0, spanFlushBatch),
 		rng:      newReservoirRNG(cfg.Seed, "span-reservoir"),
 	}
 	if cfg.ReservoirSize > 0 {
@@ -62,12 +72,30 @@ func NewTracer(cfg TracerConfig) *Tracer {
 	return t
 }
 
-// AddSpan records a completed span. The span enters the ring; the span
-// it evicts (once the ring is full) becomes a candidate for the
-// reservoir, so between them the tracer holds the most recent RingSize
-// spans plus a uniform sample of all older ones.
+// AddSpan records a completed span into the pending batch; batches
+// flush into the ring/reservoir when full (and on read). The span
+// entering the ring evicts the oldest one (once the ring is full),
+// which becomes a candidate for the reservoir, so between them the
+// tracer holds the most recent RingSize spans plus a uniform sample of
+// all older ones.
 func (t *Tracer) AddSpan(sp Span) {
 	t.spansSeen++
+	t.pending = append(t.pending, sp)
+	if len(t.pending) >= spanFlushBatch {
+		t.flushSpans()
+	}
+}
+
+// flushSpans folds the pending batch into the ring/reservoir in
+// arrival order.
+func (t *Tracer) flushSpans() {
+	for i := range t.pending {
+		t.insertSpan(t.pending[i])
+	}
+	t.pending = t.pending[:0]
+}
+
+func (t *Tracer) insertSpan(sp Span) {
 	if t.ringN < t.ringCap {
 		t.ring[t.ringHead] = sp
 		t.ringHead = (t.ringHead + 1) % t.ringCap
@@ -115,6 +143,7 @@ func (t *Tracer) DroppedEvents() int64 { return t.droppedEvents }
 // followed by the ring's contents), ordered by span ID so export order
 // is deterministic and roughly chronological.
 func (t *Tracer) Spans() []Span {
+	t.flushSpans()
 	out := make([]Span, 0, len(t.res)+t.ringN)
 	out = append(out, t.res...)
 	if t.ringN < t.ringCap {

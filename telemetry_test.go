@@ -169,18 +169,22 @@ func TestBreakdownP99SumsToEndToEnd(t *testing.T) {
 }
 
 // Telemetry must be invisible to the simulation: the same run with
-// telemetry fully enabled produces identical IOPS, latency percentiles,
-// and grant TraceHash as a bare run.
+// telemetry fully enabled — or span-sampled 1-in-N — produces identical
+// IOPS, latency percentiles, and grant TraceHash as a bare run.
 func TestTelemetryDoesNotPerturbRun(t *testing.T) {
-	run := func(enable bool) (RunStats, MultiTenantStats) {
+	run := func(mode string) (RunStats, MultiTenantStats) {
 		dev, err := New(Options{FTL: FTLCube, BlocksPerChip: 16, Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
 		dev.Prefill(int64(dev.LogicalPages()) * 6 / 10)
 		dev.ResetStats()
-		if enable {
-			dev.EnableTelemetry(TelemetryConfig{Trace: true})
+		if mode != "off" {
+			cfg := TelemetryConfig{Trace: true}
+			if mode == "sampled" {
+				cfg.SpanSample = 7
+			}
+			dev.EnableTelemetry(cfg)
 			if err := dev.StartStats(&bytes.Buffer{}, time.Millisecond); err != nil {
 				t.Fatal(err)
 			}
@@ -196,21 +200,50 @@ func TestTelemetryDoesNotPerturbRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if enable {
+		if mode != "off" {
 			if err := dev.CloseStats(); err != nil {
 				t.Fatal(err)
 			}
 		}
 		return rs, mt
 	}
-	offR, offM := run(false)
-	onR, onM := run(true)
-	if offR.IOPS != onR.IOPS || offR.ReadP99 != onR.ReadP99 || offR.Elapsed != onR.Elapsed {
-		t.Errorf("single-tenant run perturbed: off %+v, on %+v", offR, onR)
+	offR, offM := run("off")
+	for _, mode := range []string{"full", "sampled"} {
+		onR, onM := run(mode)
+		if offR.IOPS != onR.IOPS || offR.ReadP99 != onR.ReadP99 || offR.Elapsed != onR.Elapsed {
+			t.Errorf("%s: single-tenant run perturbed: off %+v, on %+v", mode, offR, onR)
+		}
+		if offM.TraceHash != onM.TraceHash || offM.Grants != onM.Grants || offM.Elapsed != onM.Elapsed {
+			t.Errorf("%s: multi-tenant run perturbed: off hash %016x, on hash %016x",
+				mode, offM.TraceHash, onM.TraceHash)
+		}
 	}
-	if offM.TraceHash != onM.TraceHash || offM.Grants != onM.Grants || offM.Elapsed != onM.Elapsed {
-		t.Errorf("multi-tenant run perturbed: off hash %016x, on hash %016x",
-			offM.TraceHash, onM.TraceHash)
+}
+
+// A sampled run must trace roughly 1/N of the spans a full-trace run
+// does — the point of sampling is that the retained set (and the cost
+// of collecting it) shrinks while the simulation stays untouched.
+func TestSpanSamplingReducesRetention(t *testing.T) {
+	seen := func(sample int) int64 {
+		dev, err := New(Options{FTL: FTLCube, BlocksPerChip: 16, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.Prefill(int64(dev.LogicalPages()) * 6 / 10)
+		dev.ResetStats()
+		dev.EnableTelemetry(TelemetryConfig{Trace: true, SpanSample: sample})
+		if _, err := dev.RunWorkload("Mixed", 800, 8); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Telemetry().Tracer().SpansSeen()
+	}
+	full := seen(0)
+	sampled := seen(8)
+	if full != 800 {
+		t.Fatalf("full trace saw %d spans, want 800", full)
+	}
+	if sampled != 100 {
+		t.Errorf("1-in-8 sample saw %d spans, want 100", sampled)
 	}
 }
 
