@@ -2,9 +2,9 @@
 # long tests hide behind -short here; `make soak` runs them in full.
 GO ?= go
 
-.PHONY: tier1 build vet test race race-core bench-scale bench-telemetry bench-json trace-demo fleet-smoke fleet-demo metrics-smoke soak soak-short figures demo clean
+.PHONY: tier1 build vet test race race-core bench-scale bench-telemetry bench-json trace-demo fleet-smoke fleet-demo metrics-smoke lifetime-smoke soak soak-short figures demo clean
 
-tier1: build vet race race-core fleet-smoke metrics-smoke soak-short
+tier1: build vet race race-core fleet-smoke metrics-smoke lifetime-smoke soak-short
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ race:
 # read-retry pipeline layers (nand ladder/latency model, core retry
 # table and its checkpoint serialization).
 race-core:
-	$(GO) test -race ./internal/sim ./internal/ftl ./internal/host ./internal/recovery ./internal/telemetry ./internal/server ./internal/fleet ./internal/cache ./internal/nand ./internal/core
+	$(GO) test -race ./internal/sim ./internal/ftl ./internal/host ./internal/recovery ./internal/telemetry ./internal/server ./internal/fleet ./internal/cache ./internal/nand ./internal/core ./internal/lifetime
 
 # Multi-die scaling gate: fails if a 2x4 backend delivers less than
 # 1.5x the single-die Mixed IOPS (or if same-seed replay diverges).
@@ -90,11 +90,19 @@ metrics-smoke:
 	for fam in 'cube_server_up 1' 'cube_tenant_read_p99_ns{tenant="lat"}' \
 		'cube_tenant_weight{tenant="lat"}' 'cube_slo_enabled 1' \
 		'cube_cube_retry_hits' 'cube_cube_ort_hits' \
-		'cube_ftl_die_0_degraded' 'cube_events_total'; do \
+		'cube_ftl_die_0_degraded' 'cube_events_total' \
+		'cube_waf_host_bytes' 'cube_waf_refresh_bytes' \
+		'cube_erase_count{die="0",quantile="0.5"}'; do \
 		echo "$$out" | grep -qF "$$fam" || { echo "metrics-smoke: missing $$fam"; exit 1; }; \
 	done; \
 	curl -fsS http://127.0.0.1:$(METRICS_PORT)/healthz >/dev/null; \
 	echo "metrics-smoke: PASS (all required families served)"
+
+# Lifetime smoke: fast-forward a refresh+WL device three simulated
+# years and assert the lifetime contract — read p99 stays within 2x of
+# the same device's fresh baseline and no read goes uncorrectable.
+lifetime-smoke:
+	$(GO) test -run TestLifetimeSmoke -v ./internal/experiment
 
 # Live-traffic chaos soak, tier-1 sized (<= 60s wall): a real cubeserved
 # instance, 6 concurrent TCP clients, fault injection on, die kill and

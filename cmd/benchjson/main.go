@@ -68,6 +68,9 @@ type BenchResult struct {
 	// HitRate is the host-cache read hit rate, present only for the
 	// fleet and cache-sweep scenarios.
 	HitRate float64 `json:"hit_rate,omitempty"`
+	// WAF is the write-amplification factor (total/host program bytes),
+	// present only for the lifetime scenarios.
+	WAF float64 `json:"waf,omitempty"`
 }
 
 // BenchReport is the BENCH_core.json document.
@@ -108,6 +111,12 @@ type BenchReport struct {
 	// retry stack (ort-pr-ar) over plain ORT on the aged device — the
 	// EXPERIMENTS.md contract expects it to stay positive.
 	RetryP99GainPct float64 `json:"retry_p99_gain_pct"`
+
+	// LifetimeP99GainPct is the read-p99 reduction of refresh + wear
+	// leveling over the do-nothing baseline on a device fast-forwarded
+	// three simulated years — the lifetime-figure contract expects the
+	// policies to hold p99 well under the degraded baseline.
+	LifetimeP99GainPct float64 `json:"lifetime_p99_gain_pct"`
 }
 
 func gitRev() string {
@@ -244,6 +253,55 @@ func runRetry(name, mode string, requests int, seed uint64) (BenchResult, error)
 		WriteP99Ns: int64(st.WriteP99),
 		SimNs:      int64(st.Elapsed),
 		WallMs:     float64(wall.Microseconds()) / 1000,
+	}, nil
+}
+
+// runLifetime is one leg of the lifetime pair: Rocks on a cube device
+// fast-forwarded three simulated years (per-block wear with jitter,
+// retention clocks, grown bad blocks), with or without the lifetime
+// policies. The refresh leg rewrites retention-expired blocks during
+// the age jump, so the measured run reads fresh cells; the baseline
+// reads three-year-old cells and eats the retry storm.
+func runLifetime(name string, refresh, wearLevel bool, requests int, seed uint64) (BenchResult, error) {
+	dev, err := cubeftl.New(cubeftl.Options{
+		FTL:           cubeftl.FTLCube,
+		BlocksPerChip: 32,
+		Seed:          seed,
+		RetryMode:     "ort-pr",
+		Refresh:       refresh,
+		WearLevel:     wearLevel,
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	current.Store(dev)
+	defer current.Store(nil)
+	dev.Prefill(int64(dev.LogicalPages()) * 6 / 10)
+	// Reset before the age jump: the WAF window then covers the jump's
+	// scrub burst plus the measured run, pricing the refresh policy
+	// honestly instead of hiding its cost in the discarded window.
+	dev.ResetStats()
+	dev.AgeMonths(3 * 12)
+	start := time.Now()
+	st, err := dev.RunWorkload("Rocks", requests, 24)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	wall := time.Since(start)
+	if dev.Interrupted() {
+		dev.Quiesce()
+	}
+	return BenchResult{
+		Name:       name,
+		Requests:   st.Requests,
+		IOPS:       st.IOPS,
+		ReadP50Ns:  int64(st.ReadP50),
+		ReadP99Ns:  int64(st.ReadP99),
+		WriteP50Ns: int64(st.WriteP50),
+		WriteP99Ns: int64(st.WriteP99),
+		SimNs:      int64(st.Elapsed),
+		WallMs:     float64(wall.Microseconds()) / 1000,
+		WAF:        dev.WAF().Factor,
 	}, nil
 }
 
@@ -476,6 +534,33 @@ func main() {
 		rep.RetryP99GainPct = 100 * (1 - float64(retryAR.ReadP99Ns)/float64(retryOrt.ReadP99Ns))
 	}
 
+	var lifeBase, lifePol BenchResult
+	for _, leg := range []struct {
+		name        string
+		refresh, wl bool
+	}{
+		{"lifetime-aged-base", false, false},
+		{"lifetime-aged-refresh-wl", true, true},
+	} {
+		if stopping.Load() {
+			break
+		}
+		b, err := runLifetime(leg.name, leg.refresh, leg.wl, *requests, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep.Benches = append(rep.Benches, b)
+		if leg.refresh {
+			lifePol = b
+		} else {
+			lifeBase = b
+		}
+	}
+	if lifeBase.ReadP99Ns > 0 && lifePol.ReadP99Ns > 0 {
+		rep.LifetimeP99GainPct = 100 * (1 - float64(lifePol.ReadP99Ns)/float64(lifeBase.ReadP99Ns))
+	}
+
 	for _, sweep := range []struct {
 		name string
 		frac float64
@@ -504,14 +589,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: %d scenarios (rev %s, seed %d): 2x4 speedup %.2fx, telemetry sim overhead %.2f%% (wall: full %+.0f%%, sampled %+.0f%%), fleet 8x scale %.2fx, retry p99 gain %.1f%%\n",
+	fmt.Printf("%s: %d scenarios (rev %s, seed %d): 2x4 speedup %.2fx, telemetry sim overhead %.2f%% (wall: full %+.0f%%, sampled %+.0f%%), fleet 8x scale %.2fx, retry p99 gain %.1f%%, lifetime p99 gain %.1f%%\n",
 		*out, len(rep.Benches), rep.GitRev, rep.Seed, rep.ScaleSpeedup2x4, rep.TelemetryOverheadPct,
-		rep.TelemetryFullWallPct, rep.TelemetrySampledWallPct, rep.FleetScale8x, rep.RetryP99GainPct)
+		rep.TelemetryFullWallPct, rep.TelemetrySampledWallPct, rep.FleetScale8x, rep.RetryP99GainPct,
+		rep.LifetimeP99GainPct)
 	for _, b := range rep.Benches {
-		fmt.Printf("  %-22s %8.0f IOPS  rp99 %8dns  wp99 %8dns  wall %7.1fms",
+		fmt.Printf("  %-24s %8.0f IOPS  rp99 %8dns  wp99 %8dns  wall %7.1fms",
 			b.Name, b.IOPS, b.ReadP99Ns, b.WriteP99Ns, b.WallMs)
 		if b.HitRate > 0 {
 			fmt.Printf("  hit %.3f", b.HitRate)
+		}
+		if b.WAF > 0 {
+			fmt.Printf("  waf %.3f", b.WAF)
 		}
 		fmt.Println()
 	}

@@ -72,6 +72,41 @@ func parsePowercut(spec string) (powercutSpec, error) {
 	return powercutSpec{mode: pcAt, at: d}, nil
 }
 
+// parseAge parses the -age spec into simulated retention months: empty
+// (no aging), a count of years ("3y", "2.5y"), a count of months
+// ("18mo"), or a Go duration ("4380h") converted at 730h per month.
+func parseAge(spec string) (float64, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return 0, nil
+	}
+	var months float64
+	switch {
+	case strings.HasSuffix(spec, "y"):
+		years, err := strconv.ParseFloat(strings.TrimSuffix(spec, "y"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("cubesim: -age: bad year count %q: %v", spec, err)
+		}
+		months = years * 12
+	case strings.HasSuffix(spec, "mo"):
+		var err error
+		months, err = strconv.ParseFloat(strings.TrimSuffix(spec, "mo"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("cubesim: -age: bad month count %q: %v", spec, err)
+		}
+	default:
+		d, err := time.ParseDuration(spec)
+		if err != nil {
+			return 0, fmt.Errorf("cubesim: -age: %q is not a year count (\"3y\"), month count (\"18mo\"), or duration: %v", spec, err)
+		}
+		months = d.Hours() / 730
+	}
+	if months <= 0 {
+		return 0, fmt.Errorf("cubesim: -age must be positive, got %q", spec)
+	}
+	return months, nil
+}
+
 // validateRecoveryFlags rejects flag combinations the power-cut path
 // does not support: the cut drives a single synthetic workload stream,
 // so multi-tenant mode, trace replay, and trace recording are out.

@@ -132,6 +132,36 @@ func TestParsePowercut(t *testing.T) {
 	}
 }
 
+func TestParseAge(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want float64
+	}{
+		{"", 0},
+		{"3y", 36},
+		{"2.5y", 30},
+		{"18mo", 18},
+		{" 1mo ", 1},
+		{"730h", 1},
+	} {
+		got, err := parseAge(tc.spec)
+		if err != nil {
+			t.Errorf("parseAge(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseAge(%q) = %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"soon", "3", "-1y", "0mo", "xy", "-5ms"} {
+		if _, err := parseAge(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		} else if !strings.Contains(err.Error(), "-age") {
+			t.Errorf("spec %q error %q does not name -age", bad, err)
+		}
+	}
+}
+
 func TestValidateRecoveryFlags(t *testing.T) {
 	cut := powercutSpec{mode: pcAt, at: time.Millisecond}
 	if err := validateRecoveryFlags(cut, "", "", ""); err != nil {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +54,10 @@ func main() {
 	rate := flag.String("rate", "", "per-tenant IOPS caps, comma-separated; 0 = unlimited (e.g. '0,20000')")
 	prios := flag.String("prios", "", "per-tenant strict-priority classes, comma-separated; higher = more urgent")
 	width := flag.Int("width", 32, "device dispatch width shared by all tenant queues (multi-tenant mode)")
+	ageSpec := flag.String("age", "", "lifetime fast-forward applied after prefill: years ('3y'), months ('18mo'), or a duration; deterministically ages wear, retention, and bad blocks from -seed")
+	refresh := flag.Bool("refresh", false, "retention-aware background scrubber: rewrite blocks before the ECC cliff, yielding to host traffic")
+	wearlevel := flag.Bool("wearlevel", false, "cross-block static wear leveling (implies wear-aware allocation)")
+	wafOut := flag.String("waf-out", "", "write the per-cause write-amplification ledger and erase-count quantiles to this JSON file after the run")
 	powercut := flag.String("powercut", "", "crash test: cut power mid-run at a simulated duration into the run (e.g. 5ms) or at a seed-derived 'random' point, then recover by remounting")
 	ckptInterval := flag.Duration("ckpt-interval", 0, "recovery checkpoint cadence in simulated time (0 = 20ms default, negative disables periodic checkpoints; effective with -powercut)")
 	verifyMount := flag.Bool("verify-mount", true, "after a -powercut remount, run the full-device consistency verifier (zero lost acked writes)")
@@ -70,6 +75,11 @@ func main() {
 		os.Exit(1)
 	}
 	if err := validateRetryMode(*retryMode); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ageMonths, err := parseAge(*ageSpec)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -101,6 +111,8 @@ func main() {
 		PECycles:        *pe,
 		RetentionMonths: *retention,
 		RetryMode:       *retryMode,
+		Refresh:         *refresh,
+		WearLevel:       *wearlevel,
 		ProgramFailRate: *pfail,
 		EraseFailRate:   *efail,
 		ReadFaultRate:   *rfault,
@@ -139,6 +151,17 @@ func main() {
 		}
 		dev.ResetStats()
 	}
+	if ageMonths > 0 {
+		rep := dev.AgeMonths(ageMonths)
+		fmt.Printf("aged %.1f months: +%d P/E (wear %d..%d), %d grown bad blocks, %d retry-bucket jumps, %d blocks scrubbed\n",
+			rep.Months, rep.PEAdded, rep.MinPE, rep.MaxPE, rep.BadBlocksGrown, rep.BucketJumps, rep.ScrubQueued)
+		// Measure the steady state after the age jump, not the scrub
+		// burst itself: the run's WAF ledger then attributes what the
+		// workload (and the patrol riding on it) actually costs.
+		dev.ResetStats()
+	}
+
+	lifetimeOn := *refresh || *wearlevel || ageMonths > 0
 
 	if pc.mode != pcOff {
 		// Crash test: telemetry and the hub do not survive a remount, so
@@ -148,6 +171,10 @@ func main() {
 			prefillPages = int64(dev.LogicalPages()) * 6 / 10
 		}
 		if err := runPowerCut(dev, opts, *wl, *requests, *qd, prefillPages, pc, *verifyMount, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := reportWAF(dev, *wafOut, lifetimeOn); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -161,6 +188,10 @@ func main() {
 
 	if *queues != "" {
 		if err := runMultiTenant(dev, *queues, *arb, *weights, *rate, *prios, *width, *requests, *qd); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := reportWAF(dev, *wafOut, lifetimeOn); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -216,11 +247,41 @@ func main() {
 				cs.RetryHits, cs.RetryMisses, cs.RetryStale, cs.RetryEntries)
 		}
 	}
+	if err := reportWAF(dev, *wafOut, lifetimeOn); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	settle(dev)
 	if err := obs.finishTelemetry(dev); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// reportWAF prints the per-cause write-amplification ledger when the
+// lifetime machinery is in play and writes the -waf-out JSON file when
+// one was requested.
+func reportWAF(dev *cubeftl.SSD, path string, enabled bool) error {
+	w := dev.WAF()
+	if enabled {
+		const mib = 1 << 20
+		fmt.Printf("  WAF %.3f: host %.1f MiB, GC %.1f MiB, refresh %.1f MiB (%d moves), wear-level %.1f MiB (%d moves)\n",
+			w.Factor, float64(w.HostBytes)/mib, float64(w.GCBytes)/mib,
+			float64(w.RefreshBytes)/mib, w.Refreshes, float64(w.WLBytes)/mib, w.WearLevels)
+	}
+	if path == "" {
+		return nil
+	}
+	out := struct {
+		WAF            cubeftl.WAFStats `json:"waf"`
+		EraseQuantiles [][]int          `json:"erase_quantiles"` // per die: min, median, max
+		WearSpread     int              `json:"wear_spread"`
+	}{w, dev.EraseQuantiles([]float64{0, 0.5, 1}), dev.WearSpread()}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // watchSignals makes SIGINT/SIGTERM stop the simulation at the next

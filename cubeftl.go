@@ -29,6 +29,7 @@ import (
 	"cubeftl/internal/core"
 	"cubeftl/internal/ftl"
 	"cubeftl/internal/host"
+	"cubeftl/internal/lifetime"
 	"cubeftl/internal/nand"
 	"cubeftl/internal/recovery"
 	"cubeftl/internal/sim"
@@ -82,6 +83,16 @@ type Options struct {
 	// WearAware spreads P/E cycles by allocating the least-worn erased
 	// block (static wear leveling).
 	WearAware bool
+	// Refresh enables the retention-aware background scrubber: blocks
+	// whose retention age or predicted E<->P1 error rate crosses the
+	// refresh policy's thresholds are rewritten before the ECC cliff.
+	// The patrol is funded by host reads so it yields to tenant traffic.
+	Refresh bool
+	// WearLevel enables cross-block static wear leveling: after a GC
+	// cycle completes, cold data is moved off the die's least-worn block
+	// when the erase-count spread exceeds the wear policy's threshold.
+	// Implies WearAware allocation.
+	WearLevel bool
 	// VerifyData turns on the end-to-end integrity oracle: tagged
 	// payloads flow through flush, GC, and read-back verification, and
 	// RunStats.DataMismatches reports violations (always zero for a
@@ -154,6 +165,10 @@ type SSD struct {
 	opts        Options
 	ctrlCfg     ftl.ControllerConfig
 	outstanding int
+
+	// ager applies lifetime fast-forwards (lazily built by Age so
+	// devices that never age pay nothing and replay bit-identically).
+	ager *lifetime.Ager
 }
 
 // New builds a simulated SSD.
@@ -213,7 +228,9 @@ func New(opts Options) (*SSD, error) {
 	if opts.WriteBufferPages > 0 {
 		ctrlCfg.WriteBufferPages = opts.WriteBufferPages
 	}
-	ctrlCfg.WearAware = opts.WearAware
+	ctrlCfg.WearAware = opts.WearAware || opts.WearLevel
+	ctrlCfg.Refresh = opts.Refresh
+	ctrlCfg.WearLevel = opts.WearLevel
 	ctrlCfg.VerifyData = opts.VerifyData
 	ctrlCfg.DurableAcks = opts.Recovery
 	ctrlCfg.RetryMode = rs.Mode
@@ -264,6 +281,15 @@ func newPolicy(opts Options, dev *ssd.Device) (ftl.Policy, *core.CubeFTL, error)
 		}
 		cube.ApplyRetrySetup(rs)
 		cube.SetAgeBucket(core.AgeBucketFor(opts.RetentionMonths))
+		// Key the retry table by each block's own retention age rather
+		// than the device-wide bucket. On a fresh or uniformly pre-aged
+		// device EffectiveRetentionMonths equals the device-wide setting,
+		// so this resolves to the same bucket as SetAgeBucket — replays
+		// stay bit-identical — but once Age fast-forwards individual
+		// blocks across bucket boundaries the key moves with the block.
+		cube.SetAgeBucketFn(func(chip, block int) int {
+			return core.AgeBucketFor(dev.Chip(chip).NAND.EffectiveRetentionMonths(block))
+		})
 		return cube, cube, nil
 	}
 	return nil, nil, fmt.Errorf("cubeftl: unknown FTL %q", opts.FTL)
@@ -703,9 +729,23 @@ func (s *SSD) registerFacadeGauges(hub *telemetry.Hub) {
 		}
 		return float64(st.Programs*int64(vth.PagesPerWL)) / float64(st.HostWrites)
 	})
+	// Per-cause write-amplification ledger (DESIGN.md §17): where every
+	// physical program came from, plus the resulting factor.
+	reg.RegisterGauge("ftl/waf/factor", func() float64 { return s.ctrl.WAF().Factor() })
+	for name, get := range map[string]func(lifetime.WAF) int64{
+		"ftl/waf/host_bytes":    lifetime.WAF.HostBytes,
+		"ftl/waf/gc_bytes":      lifetime.WAF.GCBytes,
+		"ftl/waf/refresh_bytes": lifetime.WAF.RefreshBytes,
+		"ftl/waf/wl_bytes":      lifetime.WAF.WLBytes,
+	} {
+		g := get
+		reg.RegisterGauge(name, func() float64 { return float64(g(s.ctrl.WAF())) })
+	}
 	for name, src := range map[string]*int64{
 		"ftl/gc/runs":           &st.GCCount,
 		"ftl/gc/page_moves":     &st.GCPageMoves,
+		"ftl/refreshes":         &st.Refreshes,
+		"ftl/wear_levels":       &st.WearLevels,
 		"ftl/reprograms":        &st.Reprograms,
 		"ftl/buffer_hits":       &st.BufferHits,
 		"ftl/write_rejects":     &st.WriteRejects,

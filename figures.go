@@ -59,6 +59,11 @@ var figures = map[string]func(seed uint64) *experiment.Table{
 	"ext-retry": func(seed uint64) *experiment.Table {
 		return experiment.ExtRetryPipeline(evalOpts(seed, 0, 0)).Table()
 	},
+	"ext-lifetime": func(seed uint64) *experiment.Table {
+		o := evalOpts(seed, 0, 0)
+		o.RetryMode = "ort-pr"
+		return experiment.ExtLifetime(o).Table()
+	},
 	"ext-faults": func(seed uint64) *experiment.Table {
 		return experiment.ExtFaultTolerance(evalOpts(seed, 0, 0)).Table()
 	},

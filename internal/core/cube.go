@@ -143,6 +143,10 @@ type CubeFTL struct {
 	retry     map[int64]retryEntry
 	readSeq   uint64 // monotonic ObserveRead counter driving decay
 	ageBucket int    // active retention-age bucket for retry lookups
+	// ageFn, when set, resolves the retention-age bucket per block
+	// (aged devices where blocks carry independent retention clocks);
+	// nil keeps the device-wide ageBucket.
+	ageFn func(chip, block int) int
 
 	stats CubeStats
 }

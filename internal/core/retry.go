@@ -50,11 +50,29 @@ type retryEntry struct {
 	seq    uint64 // readSeq at the last confirmation, for decay
 }
 
-// retryKey extends the per-h-layer key with the current retention-age
+// retryKey extends the per-h-layer key with the block's retention-age
 // bucket. Unlike the ORT the retry table always keys per h-layer — the
 // whole point is tracking drift at full granularity.
 func (f *CubeFTL) retryKey(chip, block, layer int) int64 {
-	return f.opmKey(chip, block, layer)*RetryAgeBuckets + int64(f.ageBucket)
+	return f.opmKey(chip, block, layer)*RetryAgeBuckets + int64(f.bucketOf(chip, block))
+}
+
+// bucketOf resolves a block's retention-age bucket: the per-block
+// resolver when one is wired (aged devices), else the device-wide
+// bucket. The result is clamped so a misbehaving resolver cannot key
+// outside the table.
+func (f *CubeFTL) bucketOf(chip, block int) int {
+	b := f.ageBucket
+	if f.ageFn != nil {
+		b = f.ageFn(chip, block)
+	}
+	if b < 0 {
+		b = 0
+	}
+	if b >= RetryAgeBuckets {
+		b = RetryAgeBuckets - 1
+	}
+	return b
 }
 
 // SetAgeBucket tells the policy which retention-age bucket the device
@@ -70,8 +88,34 @@ func (f *CubeFTL) SetAgeBucket(b int) {
 	f.ageBucket = b
 }
 
+// SetAgeBucketFn wires a per-block retention-age bucket resolver (nil
+// restores the device-wide bucket). With it, a block whose retention
+// clock crosses a bucket boundary — an aging fast-forward jump — stops
+// matching its old retry-table entries by construction: the lookup key
+// moves with the block's age.
+func (f *CubeFTL) SetAgeBucketFn(fn func(chip, block int) int) { f.ageFn = fn }
+
 // AgeBucket returns the active retention-age bucket.
 func (f *CubeFTL) AgeBucket() int { return f.ageBucket }
+
+// InvalidateBlockRetry drops every cached read-start offset touching a
+// block: its retry-table entries across all age buckets and layers, and
+// its per-layer ORT entries. Called when an aging fast-forward jumps
+// the block across a bucket boundary — the cached offsets describe a
+// drift state the block no longer is in.
+func (f *CubeFTL) InvalidateBlockRetry(chip, block int) {
+	for l := 0; l < f.geo.Layers; l++ {
+		base := f.opmKey(chip, block, l) * RetryAgeBuckets
+		for bkt := int64(0); bkt < RetryAgeBuckets; bkt++ {
+			delete(f.retry, base+bkt)
+		}
+	}
+	if f.cfg.ORT == ORTPerLayer {
+		for l := 0; l < f.geo.Layers; l++ {
+			delete(f.ort, f.ortKey(chip, block, l))
+		}
+	}
+}
 
 // RetryEntries returns the number of live retry-table entries.
 func (f *CubeFTL) RetryEntries() int { return len(f.retry) }

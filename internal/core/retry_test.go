@@ -177,3 +177,73 @@ func TestBaselineDisablesORT(t *testing.T) {
 		t.Errorf("baseline counted cache traffic: %+v", st)
 	}
 }
+
+// Regression for retry-table staleness under aging: when a fast-forward
+// jumps a block across a retention-age bucket boundary, reads must not
+// start from offsets cached for the block's previous age. The per-block
+// bucket resolver moves the lookup key with the block, and
+// InvalidateBlockRetry drops every remaining cached offset (retry table
+// and per-layer ORT alike).
+func TestRetryTableAgeJumpNoStaleOffsets(t *testing.T) {
+	f := retryPolicy(t, 8)
+	buckets := map[[2]int]int{}
+	f.SetAgeBucketFn(func(chip, block int) int { return buckets[[2]int{chip, block}] })
+
+	// Fresh device: block (0, 5) learns offset 2 in bucket 0; a control
+	// block (1, 3) learns offset 4.
+	f.ObserveRead(0, 5, 1, nand.ReadResult{OffsetUsed: 2}, nil)
+	f.ObserveRead(1, 3, 2, nand.ReadResult{OffsetUsed: 4}, nil)
+	if off := f.ReadStartOffset(0, 5, 1); off != 2 {
+		t.Fatalf("pre-jump start offset = %d, want 2", off)
+	}
+	hits := f.CubeStats().RetryHits
+
+	// The fast-forward jumps (0, 5) from bucket 0 to bucket 4. The old
+	// retry entry is keyed to bucket 0 and must not serve the lookup.
+	buckets[[2]int{0, 5}] = 4
+	f.ReadStartOffset(0, 5, 1)
+	if got := f.CubeStats().RetryHits; got != hits {
+		t.Fatalf("stale retry entry served after age jump (RetryHits %d -> %d)", hits, got)
+	}
+
+	// The age-agnostic ORT prior still answers; the ager clears it too.
+	f.InvalidateBlockRetry(0, 5)
+	if off := f.ReadStartOffset(0, 5, 1); off != 0 {
+		t.Fatalf("post-invalidation start offset = %d, want 0 (default voltages)", off)
+	}
+	// The control block is untouched.
+	if off := f.ReadStartOffset(1, 3, 2); off != 4 {
+		t.Fatalf("unrelated block lost its offset: %d, want 4", off)
+	}
+
+	// Re-learning in the new bucket keys under the new bucket: jumping
+	// back must not resurrect it either.
+	f.ObserveRead(0, 5, 1, nand.ReadResult{OffsetUsed: 5}, nil)
+	if off := f.ReadStartOffset(0, 5, 1); off != 5 {
+		t.Fatalf("re-learned offset = %d, want 5", off)
+	}
+	buckets[[2]int{0, 5}] = 0
+	hits = f.CubeStats().RetryHits
+	f.ReadStartOffset(0, 5, 1)
+	if got := f.CubeStats().RetryHits; got != hits {
+		t.Fatal("bucket-4 entry served a bucket-0 lookup")
+	}
+}
+
+// SetAgeBucketFn(nil) restores the device-wide bucket, and resolver
+// results outside [0, RetryAgeBuckets) are clamped.
+func TestAgeBucketFnFallbackAndClamp(t *testing.T) {
+	f := retryPolicy(t, 9)
+	f.SetAgeBucket(3)
+	f.SetAgeBucketFn(func(chip, block int) int { return 99 })
+	f.ObserveRead(0, 1, 0, nand.ReadResult{OffsetUsed: 1}, nil)
+	if off := f.ReadStartOffset(0, 1, 0); off != 1 {
+		t.Fatalf("clamped bucket lookup = %d, want 1", off)
+	}
+	f.SetAgeBucketFn(nil)
+	hits := f.CubeStats().RetryHits
+	f.ReadStartOffset(0, 1, 0) // device-wide bucket 3 != clamped 5
+	if f.CubeStats().RetryHits != hits {
+		t.Fatal("nil resolver did not fall back to the device-wide bucket")
+	}
+}

@@ -42,6 +42,15 @@ type ShardSample struct {
 	ReadP50Ns  int64 `json:"read_p50_ns"`
 	ReadP99Ns  int64 `json:"read_p99_ns"`
 	WriteP99Ns int64 `json:"write_p99_ns"`
+
+	// Per-cause write-amplification ledger (cumulative bytes) and the
+	// erase-count spread wear leveling narrows. Appended fields: the
+	// JSONL schema grows at the end only.
+	WafHostBytes    int64 `json:"waf_host_bytes"`
+	WafGCBytes      int64 `json:"waf_gc_bytes"`
+	WafRefreshBytes int64 `json:"waf_refresh_bytes"`
+	WafWLBytes      int64 `json:"waf_wl_bytes"`
+	EraseSpread     int   `json:"erase_spread"`
 }
 
 // FleetSample is one merged row of the fleet series: per-shard rows at
@@ -64,6 +73,12 @@ type FleetSample struct {
 
 	WindowIOs    int64 `json:"window_ios"`
 	ReadP99NsMax int64 `json:"read_p99_ns_max"`
+
+	WafHostBytes    int64 `json:"waf_host_bytes"`
+	WafGCBytes      int64 `json:"waf_gc_bytes"`
+	WafRefreshBytes int64 `json:"waf_refresh_bytes"`
+	WafWLBytes      int64 `json:"waf_wl_bytes"`
+	EraseSpreadMax  int   `json:"erase_spread_max"`
 
 	Shards []ShardSample `json:"shards"`
 }
@@ -110,6 +125,8 @@ func (sm *shardSampler) take(at sim.Time) {
 	}
 	cs := r.cache.Stats()
 	st := r.ctrl.Stats()
+	waf := r.ctrl.WAF()
+	wearLo, wearHi := r.ctrl.WearSpread()
 	s := ShardSample{
 		Shard:       r.spec.id,
 		TsNs:        int64(at),
@@ -126,6 +143,12 @@ func (sm *shardSampler) take(at sim.Time) {
 		ReadP50Ns:   sm.winRead.Percentile(50),
 		ReadP99Ns:   sm.winRead.Percentile(99),
 		WriteP99Ns:  sm.winWrite.Percentile(99),
+
+		WafHostBytes:    waf.HostBytes(),
+		WafGCBytes:      waf.GCBytes(),
+		WafRefreshBytes: waf.RefreshBytes(),
+		WafWLBytes:      waf.WLBytes(),
+		EraseSpread:     wearHi - wearLo,
 	}
 	sm.winRead, sm.winWrite = metrics.NewHist(0), metrics.NewHist(0)
 	sm.samples = append(sm.samples, s)
@@ -179,6 +202,13 @@ func mergeSeries(shards []ShardResult) []FleetSample {
 			f.WindowIOs += s.WindowIOs
 			if s.ReadP99Ns > f.ReadP99NsMax {
 				f.ReadP99NsMax = s.ReadP99Ns
+			}
+			f.WafHostBytes += s.WafHostBytes
+			f.WafGCBytes += s.WafGCBytes
+			f.WafRefreshBytes += s.WafRefreshBytes
+			f.WafWLBytes += s.WafWLBytes
+			if s.EraseSpread > f.EraseSpreadMax {
+				f.EraseSpreadMax = s.EraseSpread
 			}
 			f.Shards = append(f.Shards, s)
 		}
@@ -254,9 +284,12 @@ func (v *LiveView) WriteMetrics(w io.Writer) error {
 	degraded := mk("cube_fleet_shard_degraded", "gauge", "shard device degraded")
 	readP99 := mk("cube_fleet_shard_read_p99_ns", "gauge", "windowed read p99 at last sample")
 	windowIOs := mk("cube_fleet_shard_window_ios", "gauge", "completions in the last sample window")
+	eraseSpread := mk("cube_fleet_shard_erase_spread", "gauge", "erase-count spread over the shard's good blocks")
 	var total, reads, writes, hits, misses int64
 	var degradedShards int
 	var p99Max int64
+	var wafHost, wafGC, wafRefresh, wafWL int64
+	var spreadMax int
 	for i := range snap {
 		s := &snap[i]
 		l := []telemetry.PromLabel{{K: "shard", V: fmt.Sprint(s.Shard)}}
@@ -276,6 +309,7 @@ func (v *LiveView) WriteMetrics(w io.Writer) error {
 			dg, degradedShards = 1.0, degradedShards+1
 		}
 		add(degraded, dg)
+		add(eraseSpread, float64(s.EraseSpread))
 		total += s.Completed
 		reads += s.Reads
 		writes += s.Writes
@@ -283,6 +317,13 @@ func (v *LiveView) WriteMetrics(w io.Writer) error {
 		misses += s.CacheMisses
 		if s.ReadP99Ns > p99Max {
 			p99Max = s.ReadP99Ns
+		}
+		wafHost += s.WafHostBytes
+		wafGC += s.WafGCBytes
+		wafRefresh += s.WafRefreshBytes
+		wafWL += s.WafWLBytes
+		if s.EraseSpread > spreadMax {
+			spreadMax = s.EraseSpread
 		}
 	}
 	hitRate := 0.0
@@ -297,7 +338,12 @@ func (v *LiveView) WriteMetrics(w io.Writer) error {
 		one("cube_fleet_cache_hit_rate", "gauge", "fleet read hit rate", hitRate),
 		one("cube_fleet_degraded_shards", "gauge", "shards with a degraded device", float64(degradedShards)),
 		one("cube_fleet_read_p99_ns_max", "gauge", "worst windowed read p99 across shards", float64(p99Max)),
-		*simNs, *completed, *backlog, *cacheHits, *cacheMisses, *gc, *degraded, *readP99, *windowIOs,
+		one("cube_fleet_waf_host_bytes", "gauge", "fleet bytes programmed for host writes", float64(wafHost)),
+		one("cube_fleet_waf_gc_bytes", "gauge", "fleet bytes moved by GC and reclaim", float64(wafGC)),
+		one("cube_fleet_waf_refresh_bytes", "gauge", "fleet bytes moved by retention refresh", float64(wafRefresh)),
+		one("cube_fleet_waf_wl_bytes", "gauge", "fleet bytes moved by static wear leveling", float64(wafWL)),
+		one("cube_fleet_erase_spread_max", "gauge", "worst erase-count spread across shards", float64(spreadMax)),
+		*simNs, *completed, *backlog, *cacheHits, *cacheMisses, *gc, *degraded, *readP99, *windowIOs, *eraseSpread,
 	}
 	return telemetry.WriteProm(w, fams)
 }

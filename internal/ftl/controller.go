@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cubeftl/internal/lifetime"
 	"cubeftl/internal/metrics"
 	"cubeftl/internal/nand"
 	"cubeftl/internal/sim"
@@ -52,7 +53,32 @@ type ControllerConfig struct {
 	// reads alike (see nand.RetryMode). The zero value is the classic
 	// serialized sense+decode flow.
 	RetryMode nand.RetryMode
+	// Refresh enables the retention scrubber: a background patrol that
+	// rewrites blocks whose retention age or predicted E<->P1 error rate
+	// says they are approaching the ECC cliff. Off by default (no
+	// background relocations, bit-identical to the historical datapath).
+	Refresh bool
+	// RefreshPolicy sets the scrub thresholds; the zero value takes
+	// lifetime.DefaultRefreshPolicy.
+	RefreshPolicy lifetime.RefreshPolicy
+	// RefreshPatrolReads is how many host reads on a die fund one patrol
+	// step (the scrubber's rate limit, so it yields to tenant traffic).
+	// <= 0 takes the default.
+	RefreshPatrolReads int
+	// WearLevel enables static wear leveling: when a die's erase-count
+	// spread crosses the wear policy's threshold, the coldest (least
+	// worn) block's data is moved so the block rejoins the write
+	// rotation. At most one leveling move per completed GC cycle per
+	// die. Off by default.
+	WearLevel bool
+	// WearPolicy sets the leveling threshold; the zero value takes
+	// lifetime.DefaultWearPolicy.
+	WearPolicy lifetime.WearPolicy
 }
+
+// DefaultRefreshPatrolReads is the host-read budget that funds one
+// scrub patrol step when ControllerConfig.RefreshPatrolReads is unset.
+const DefaultRefreshPatrolReads = 256
 
 // DefaultControllerConfig returns the evaluation defaults.
 func DefaultControllerConfig() ControllerConfig {
@@ -86,6 +112,20 @@ type Stats struct {
 	Reprograms  int64
 	Padded      int64 // pages of padding in partial flush groups
 	Trims       int64 // host discard commands
+
+	// Per-cause write-amplification ledger: physical pages programmed,
+	// attributed to what forced the program. HostPages includes the
+	// padding of partial flush groups (the word line is written whole);
+	// GCPages covers garbage collection, read-disturb reclaim, and
+	// retirement evacuation alike.
+	HostPages    int64
+	GCPages      int64
+	RefreshPages int64
+	WLPages      int64
+	// Refreshes counts retention-scrub relocation cycles; WearLevels
+	// counts static wear-leveling relocation cycles.
+	Refreshes  int64
+	WearLevels int64
 	// DataMismatches counts flash reads whose payload did not match the
 	// translation state (VerifyData mode) — always zero for a correct FTL.
 	DataMismatches int64
@@ -170,6 +210,24 @@ type Controller struct {
 	inflight   []int            // per chip: issued, uncompleted programs
 	gcActive   []bool           // per chip: GC or evacuation in progress
 
+	// relocCause[chip] tags the in-flight relocation cycle so its page
+	// moves land on the right WAF counter. Valid only while
+	// gcActive[chip]; reset to causeGC when the cycle closes.
+	relocCause []relocCause
+	// Retention-scrub state: patrolCredit accumulates host reads toward
+	// the next patrol step, patrolCursor rotates over the die's blocks,
+	// pendingRefresh queues blocks a ScrubSweep found due (drained one
+	// at a time through the relocation machinery).
+	patrolCredit   []int
+	patrolCursor   []int
+	pendingRefresh [][]int
+	// lastWLGC[chip] is the GCCount at the chip's last wear-leveling
+	// move — the at-most-one-move-per-GC-cycle rate limit.
+	lastWLGC []int64
+	// scrubWindows records completed refresh relocation windows (the
+	// power-cut sweep aims cuts mid-scrub).
+	scrubWindows [][2]sim.Time
+
 	// Bad-block management. retired holds every block the controller
 	// will never write again: factory-marked blocks plus grown-bad
 	// blocks (program/erase failures). pendingRetire queues retired
@@ -221,6 +279,17 @@ type Controller struct {
 	reqAlloc  *telemetry.Counter
 }
 
+// relocCause says what started a relocation cycle, for per-cause write
+// amplification accounting. GC, read-disturb reclaim, and retirement
+// evacuation share causeGC.
+type relocCause int
+
+const (
+	causeGC relocCause = iota
+	causeRefresh
+	causeWL
+)
+
 type stampAck struct {
 	stamp uint64
 	ack   func()
@@ -271,6 +340,14 @@ func NewController(dev *ssd.Device, pol Policy, cfg ControllerConfig) *Controlle
 	c.pendingRetire = make([][]int, nChips)
 	c.dieDegraded = make([]bool, nChips)
 	c.gcStart = make([]sim.Time, nChips)
+	c.relocCause = make([]relocCause, nChips)
+	c.patrolCredit = make([]int, nChips)
+	c.patrolCursor = make([]int, nChips)
+	c.pendingRefresh = make([][]int, nChips)
+	c.lastWLGC = make([]int64, nChips)
+	for i := range c.lastWLGC {
+		c.lastWLGC[i] = -1
+	}
 	for chip := 0; chip < nChips; chip++ {
 		// Boot-time factory bad-block scan: factory-marked blocks never
 		// enter the free pool.
@@ -572,6 +649,7 @@ func (c *Controller) ReadTraced(lpn LPN, pp *telemetry.PageProbe, done func()) {
 		}
 		c.pol.ObserveRead(chip, block, layer, res, err)
 		c.maybeReclaim(chip, block)
+		c.maybeScrub(chip)
 		finish()
 	})
 }
@@ -592,6 +670,195 @@ func (c *Controller) maybeReclaim(chip, block int) {
 	c.setGCActive(chip, true)
 	c.stats.Reclaims++
 	c.relocate(chip, block, c.mapper.LivePages(chip, block))
+}
+
+// inFreePool reports whether a block sits in the chip's erased pool.
+func (c *Controller) inFreePool(chip, block int) bool {
+	for _, b := range c.freeBlocks[chip] {
+		if b == block {
+			return true
+		}
+	}
+	return false
+}
+
+// refreshDue applies the refresh policy to one block: its own retention
+// clock (never the chip-wide pre-aged override — that would never reset
+// and the scrubber would loop forever) and its predicted worst-layer
+// BER on the E<->P1 boundary.
+func (c *Controller) refreshDue(chip, block int) bool {
+	n := c.dev.Chip(chip).NAND
+	return c.cfg.RefreshPolicy.NeedsRefresh(n.BlockPredictedBER(block), n.RetentionMonths(block))
+}
+
+// refreshable reports whether a block may be scrub-relocated right now.
+func (c *Controller) refreshable(chip, block int) bool {
+	return !c.isActive(chip, block) && !c.retired[chip][block] && !c.inFreePool(chip, block)
+}
+
+// startRefresh begins one refresh relocation cycle.
+func (c *Controller) startRefresh(chip, block int) {
+	c.relocCause[chip] = causeRefresh
+	c.setGCActive(chip, true)
+	c.stats.Refreshes++
+	if c.hub != nil {
+		c.hub.Instant(telemetry.PidFTL, chip, "refresh")
+	}
+	c.relocate(chip, block, c.mapper.LivePages(chip, block))
+}
+
+// maybeScrub advances the retention patrol: every RefreshPatrolReads
+// host reads on a die fund an inspection of the next block in rotation,
+// and a block past the refresh thresholds is rewritten through the
+// relocation machinery. The read-funded budget is the rate limit that
+// keeps the scrubber yielding to tenant traffic.
+func (c *Controller) maybeScrub(chip int) {
+	if !c.cfg.Refresh {
+		return
+	}
+	budget := c.cfg.RefreshPatrolReads
+	if budget <= 0 {
+		budget = DefaultRefreshPatrolReads
+	}
+	c.patrolCredit[chip]++
+	if c.patrolCredit[chip] < budget {
+		return
+	}
+	c.patrolCredit[chip] = 0
+	if c.gcActive[chip] || c.dieDegraded[chip] || len(c.freeBlocks[chip]) <= 1 {
+		return // never compete with GC or an out-of-space condition
+	}
+	block := c.patrolCursor[chip]
+	c.patrolCursor[chip] = (block + 1) % c.geo.BlocksPerChip
+	if c.refreshable(chip, block) && c.refreshDue(chip, block) {
+		c.startRefresh(chip, block)
+	}
+}
+
+// ScrubSweep scans every block of every die once, queueing a refresh
+// for each block past the thresholds, and starts draining the queues.
+// Used right after an aging fast-forward, when waiting for the patrol
+// to walk the device would leave it degraded for a long warm-up.
+// Returns the number of blocks queued.
+func (c *Controller) ScrubSweep() int {
+	if !c.cfg.Refresh {
+		return 0
+	}
+	total := 0
+	for chip := 0; chip < c.geo.Chips; chip++ {
+		if c.dieDegraded[chip] {
+			continue
+		}
+		for b := 0; b < c.geo.BlocksPerChip; b++ {
+			if c.refreshable(chip, b) && c.refreshDue(chip, b) {
+				c.pendingRefresh[chip] = append(c.pendingRefresh[chip], b)
+				total++
+			}
+		}
+		c.kickRefresh(chip)
+	}
+	return total
+}
+
+// kickRefresh starts the next queued refresh on a chip, re-validating
+// each candidate (the queue can be stale: a block may have been GC'd,
+// retired, or refreshed by the patrol since the sweep queued it).
+func (c *Controller) kickRefresh(chip int) {
+	if c.gcActive[chip] || c.dieDegraded[chip] || len(c.freeBlocks[chip]) <= 1 {
+		return
+	}
+	for len(c.pendingRefresh[chip]) > 0 {
+		block := c.pendingRefresh[chip][0]
+		c.pendingRefresh[chip] = c.pendingRefresh[chip][1:]
+		if c.refreshable(chip, block) && c.refreshDue(chip, block) {
+			c.startRefresh(chip, block)
+			return
+		}
+	}
+}
+
+// maybeWearLevel runs static wear leveling on a chip: when the die's
+// erase-count spread crosses the policy threshold, the coldest
+// (least-worn) data block is relocated so its low-wear block rejoins
+// the rotation (the wear-aware allocator then prefers it). Rate
+// limited to one move per completed GC cycle per die.
+func (c *Controller) maybeWearLevel(chip int) {
+	if !c.cfg.WearLevel || c.gcActive[chip] || c.dieDegraded[chip] || len(c.freeBlocks[chip]) <= 1 {
+		return
+	}
+	if c.lastWLGC[chip] == c.stats.GCCount {
+		return
+	}
+	n := c.dev.Chip(chip).NAND
+	minPE, maxPE, victim := int(^uint(0)>>1), -1, -1
+	for b := 0; b < c.geo.BlocksPerChip; b++ {
+		if c.retired[chip][b] {
+			continue
+		}
+		pe := n.PECycles(b)
+		if pe > maxPE {
+			maxPE = pe
+		}
+		if pe < minPE {
+			minPE = pe
+		}
+		// The move candidate is the least-worn block actually pinned by
+		// data (not free, not an open write point).
+		if !c.isActive(chip, b) && !c.inFreePool(chip, b) && (victim < 0 || pe < n.PECycles(victim)) {
+			victim = b
+		}
+	}
+	if victim < 0 || !c.cfg.WearPolicy.ShouldLevel(minPE, maxPE) {
+		return
+	}
+	c.lastWLGC[chip] = c.stats.GCCount
+	c.relocCause[chip] = causeWL
+	c.setGCActive(chip, true)
+	c.stats.WearLevels++
+	if c.hub != nil {
+		c.hub.Instant(telemetry.PidFTL, chip, "wear_level")
+	}
+	c.relocate(chip, victim, c.mapper.LivePages(chip, victim))
+}
+
+// GrowBadBlock retires a block as grown-bad on behalf of the aging
+// fast-forward. It refuses (returns false) blocks that are already
+// retired, are open write points, or sit on a die mid-relocation — the
+// ager must not yank a block out from under in-flight work. A free-pool
+// copy is dropped so the block can never be allocated again; live data
+// is evacuated through the normal retirement machinery.
+func (c *Controller) GrowBadBlock(chip, block int) bool {
+	if chip < 0 || chip >= c.geo.Chips || block < 0 || block >= c.geo.BlocksPerChip {
+		return false
+	}
+	if c.retired[chip][block] || c.isActive(chip, block) || c.gcActive[chip] {
+		return false
+	}
+	for i, b := range c.freeBlocks[chip] {
+		if b == block {
+			c.freeBlocks[chip] = append(c.freeBlocks[chip][:i], c.freeBlocks[chip][i+1:]...)
+			break
+		}
+	}
+	c.retireBlock(chip, block)
+	return true
+}
+
+// ScrubWindows returns every completed [start, end) simulated-time
+// window during which some chip ran a refresh relocation.
+func (c *Controller) ScrubWindows() [][2]sim.Time {
+	return append([][2]sim.Time(nil), c.scrubWindows...)
+}
+
+// WAF returns the per-cause write-amplification ledger.
+func (c *Controller) WAF() lifetime.WAF {
+	return lifetime.WAF{
+		HostPages:    c.stats.HostPages,
+		GCPages:      c.stats.GCPages,
+		RefreshPages: c.stats.RefreshPages,
+		WLPages:      c.stats.WLPages,
+		PageBytes:    int64(c.dev.Chip(0).NAND.Config().PageBytes),
+	}
 }
 
 // Write serves a host page write; done runs when the write is
@@ -814,6 +1081,9 @@ func (c *Controller) flushTo(chip int, group []FlushHandle) {
 		}
 		c.stats.Programs++
 		c.stats.ProgramNs += res.LatencyNs
+		// Host-caused write amplification: the word line programs whole,
+		// padding included.
+		c.stats.HostPages += int64(vth.PagesPerWL)
 		if c.hub != nil {
 			c.progHists[chip].Add(res.LatencyNs)
 			if c.hub.Tracing() {
@@ -1193,6 +1463,15 @@ func (c *Controller) gcWrite(chip, victim int, batch []LPN, data [][]byte, rest 
 		}
 		c.stats.Programs++
 		c.stats.ProgramNs += res.LatencyNs
+		// Relocation write amplification, attributed to the cycle's cause.
+		switch c.relocCause[chip] {
+		case causeRefresh:
+			c.stats.RefreshPages += int64(vth.PagesPerWL)
+		case causeWL:
+			c.stats.WLPages += int64(vth.PagesPerWL)
+		default:
+			c.stats.GCPages += int64(vth.PagesPerWL)
+		}
 		if c.hub != nil {
 			c.progHists[chip].Add(res.LatencyNs)
 			if c.hub.Tracing() {
@@ -1304,8 +1583,10 @@ func (c *Controller) finishGC(chip, victim int) {
 	}
 }
 
-// gcFinished ends one relocation cycle and starts the next queued
-// retirement evacuation, if any.
+// gcFinished ends one relocation cycle and starts the next piece of
+// background work, in priority order: queued retirement evacuations,
+// space-pressure GC, queued refreshes, then a static wear-leveling
+// move if the spread warrants one.
 func (c *Controller) gcFinished(chip int) {
 	c.setGCActive(chip, false)
 	for len(c.pendingRetire[chip]) > 0 {
@@ -1319,6 +1600,12 @@ func (c *Controller) gcFinished(chip int) {
 		c.mapper.ClearBlock(chip, block)
 	}
 	c.checkGC(chip)
+	if !c.gcActive[chip] {
+		c.kickRefresh(chip)
+	}
+	if !c.gcActive[chip] {
+		c.maybeWearLevel(chip)
+	}
 	c.maybeFlush()
 }
 
@@ -1395,7 +1682,8 @@ func (c *Controller) ReleaseDurableAcks(lpn LPN, stamp uint64) {
 }
 
 // setGCActive flips a chip's GC state, recording completed collection
-// windows for the power-cut sweep.
+// windows for the power-cut sweep (refresh windows additionally land
+// in scrubWindows so cuts can target mid-scrub instants).
 func (c *Controller) setGCActive(chip int, on bool) {
 	if c.gcActive[chip] == on {
 		return
@@ -1403,9 +1691,14 @@ func (c *Controller) setGCActive(chip int, on bool) {
 	c.gcActive[chip] = on
 	if on {
 		c.gcStart[chip] = c.eng.Now()
-	} else {
-		c.gcWindows = append(c.gcWindows, [2]sim.Time{c.gcStart[chip], c.eng.Now()})
+		return
 	}
+	win := [2]sim.Time{c.gcStart[chip], c.eng.Now()}
+	c.gcWindows = append(c.gcWindows, win)
+	if c.relocCause[chip] == causeRefresh {
+		c.scrubWindows = append(c.scrubWindows, win)
+	}
+	c.relocCause[chip] = causeGC
 }
 
 // GCWindows returns every completed [start, end) simulated-time window

@@ -133,6 +133,14 @@ func NewControllerWithState(dev *ssd.Device, pol Policy, cfg ControllerConfig, m
 	c.pendingRetire = make([][]int, nChips)
 	c.dieDegraded = make([]bool, nChips)
 	c.gcStart = make([]sim.Time, nChips)
+	c.relocCause = make([]relocCause, nChips)
+	c.patrolCredit = make([]int, nChips)
+	c.patrolCursor = make([]int, nChips)
+	c.pendingRefresh = make([][]int, nChips)
+	c.lastWLGC = make([]int64, nChips)
+	for i := range c.lastWLGC {
+		c.lastWLGC[i] = -1
+	}
 	c.writeStamp = ms.LastStamp
 	c.blockSeq = ms.LastBlockSeq
 

@@ -1,0 +1,402 @@
+// Package lifetime ages a simulated SSD years in seconds and supplies
+// the policies that keep an aged device serviceable: a deterministic
+// fast-forward that advances per-block retention clocks and P/E wear
+// and grows bad blocks, a retention/BER refresh policy (when must a
+// block be rewritten before it crosses the ECC cliff), a static
+// wear-leveling policy (when is the erase-count spread worth fixing),
+// and the write-amplification bookkeeping that attributes every device
+// write to its cause (host, GC, refresh, wear leveling).
+//
+// The package sits below the FTL: it mutates media state through
+// package nand and leaves all relocation mechanics (what to move,
+// when to yield to tenant traffic) to the controller, which it reaches
+// only through caller-provided hooks. That keeps the dependency order
+// ftl -> lifetime -> nand acyclic.
+package lifetime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cubeftl/internal/ecc"
+	"cubeftl/internal/nand"
+	"cubeftl/internal/rng"
+	"cubeftl/internal/vth"
+)
+
+// Config parameterizes the aging fast-forward.
+type Config struct {
+	// PEPerYear is the mean P/E cycles a block accumulates per simulated
+	// year. The default, 650, walks a device to the paper's 2K-cycle
+	// rated endurance in about three years — the fleet-replacement
+	// horizon the lifetime figure sweeps.
+	PEPerYear float64
+
+	// PEJitter is the relative spread of per-block wear (each block's
+	// added cycles are scaled by a uniform factor in 1 ± PEJitter). The
+	// jitter is what gives static wear leveling something to level: hot
+	// blocks pull ahead of cold ones. Zero takes the default; negative
+	// disables jitter (uniform wear).
+	PEJitter float64
+
+	// BadBlocksPerDieYear is the expected grown-bad-block count per die
+	// per simulated year (real parts: a handful over the device life).
+	// Zero takes the default; negative disables growth.
+	BadBlocksPerDieYear float64
+
+	// Seed roots the fast-forward's randomness. Same seed, same aging —
+	// bit-identical media state across runs.
+	Seed uint64
+}
+
+// DefaultConfig returns aging rates that reach the paper's aged
+// regimes (2K P/E) in ~3 simulated years.
+func DefaultConfig() Config {
+	return Config{
+		PEPerYear:           650,
+		PEJitter:            0.25,
+		BadBlocksPerDieYear: 0.7,
+		Seed:                1,
+	}
+}
+
+// MonthsPerYear and the hours that make one retention month. The
+// process model's retention unit is the month; 730h ~= 365.25d / 12.
+const (
+	MonthsPerYear = 12
+	hoursPerMonth = 730
+)
+
+// DurationMonths converts a wall-clock duration into retention months.
+func DurationMonths(d time.Duration) float64 {
+	return d.Hours() / hoursPerMonth
+}
+
+// Hooks let the controller participate in a fast-forward without the
+// lifetime package importing it.
+type Hooks struct {
+	// GrowBad retires (die, block) as a grown bad block; returning
+	// false vetoes the growth (e.g. the block is mid-relocation). When
+	// nil, the block is marked bad directly on the media.
+	GrowBad func(die, block int) bool
+
+	// BucketJump fires after a block's retention age crossed a
+	// retry-table age-bucket boundary, so cached retry offsets keyed to
+	// the old bucket can be invalidated.
+	BucketJump func(die, block, oldBucket, newBucket int)
+}
+
+// Report summarizes one fast-forward.
+type Report struct {
+	Months         float64
+	PEAdded        int64 // total cycles added across all blocks
+	BadBlocksGrown int   // grown (and accepted) bad blocks
+	BucketJumps    int   // blocks that crossed a retention-age bucket
+	MinPE, MaxPE   int   // post-aging wear extremes over good blocks
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("aged %.1fmo: +%d PE (spread %d..%d), %d grown bad, %d bucket jumps",
+		r.Months, r.PEAdded, r.MinPE, r.MaxPE, r.BadBlocksGrown, r.BucketJumps)
+}
+
+// Ager applies aging fast-forwards to a NAND array. Each call draws
+// from a fresh seed-derived stream keyed by an internal round counter,
+// so a sequence of FastForward calls is as deterministic as one.
+type Ager struct {
+	cfg   Config
+	round int
+}
+
+// NewAger returns an Ager. Zero-valued Config fields take defaults;
+// PEJitter and BadBlocksPerDieYear accept negative values to mean
+// "really zero" (uniform wear, no bad-block growth).
+func NewAger(cfg Config) *Ager {
+	def := DefaultConfig()
+	if cfg.PEPerYear <= 0 {
+		cfg.PEPerYear = def.PEPerYear
+	}
+	switch {
+	case cfg.PEJitter == 0:
+		cfg.PEJitter = def.PEJitter
+	case cfg.PEJitter < 0:
+		cfg.PEJitter = 0
+	}
+	switch {
+	case cfg.BadBlocksPerDieYear == 0:
+		cfg.BadBlocksPerDieYear = def.BadBlocksPerDieYear
+	case cfg.BadBlocksPerDieYear < 0:
+		cfg.BadBlocksPerDieYear = 0
+	}
+	return &Ager{cfg: cfg}
+}
+
+// Config returns the ager's effective configuration.
+func (a *Ager) Config() Config { return a.cfg }
+
+// FastForward ages every die of the array by months: adds jittered P/E
+// wear, advances the retention clock of every block currently holding
+// data, grows bad blocks, and fires the hooks. bucketFor maps a
+// retention age in months to the retry table's age-bucket index (nil
+// disables bucket-jump tracking).
+func (a *Ager) FastForward(arr *nand.Array, months float64, bucketFor func(months float64) int, hooks Hooks) Report {
+	rep := Report{Months: months}
+	if months <= 0 {
+		return rep
+	}
+	a.round++
+	root := rng.New(a.cfg.Seed).Derive(fmt.Sprintf("lifetime/round/%d", a.round))
+	basePE := a.cfg.PEPerYear * months / MonthsPerYear
+	rep.MinPE = 1 << 30
+	for d := 0; d < arr.Dies(); d++ {
+		chip := arr.Die(d)
+		src := root.Derive(fmt.Sprintf("die/%d", d))
+		pBad := a.cfg.BadBlocksPerDieYear * months / MonthsPerYear / float64(chip.Blocks())
+		for b := 0; b < chip.Blocks(); b++ {
+			// Draw the block's variates unconditionally so the stream
+			// stays aligned whatever the block's state is.
+			jitter := 1 + a.cfg.PEJitter*(2*src.Float64()-1)
+			badDraw := src.Float64()
+			if chip.IsBadBlock(b) {
+				continue
+			}
+			add := int(basePE*jitter + 0.5)
+			oldBucket := -1
+			if bucketFor != nil {
+				oldBucket = bucketFor(chip.EffectiveRetentionMonths(b))
+			}
+			chip.AddPECycles(b, add)
+			rep.PEAdded += int64(add)
+			if !chip.IsErased(b) {
+				// Only data at rest ages in retention; an erased block's
+				// clock restarts when it is next programmed.
+				chip.AdvanceRetention(b, months)
+				if bucketFor != nil {
+					if nb := bucketFor(chip.EffectiveRetentionMonths(b)); nb != oldBucket {
+						rep.BucketJumps++
+						if hooks.BucketJump != nil {
+							hooks.BucketJump(d, b, oldBucket, nb)
+						}
+					}
+				}
+			}
+			if badDraw < pBad {
+				grown := true
+				if hooks.GrowBad != nil {
+					grown = hooks.GrowBad(d, b)
+				} else {
+					chip.MarkBadBlock(b)
+				}
+				if grown {
+					rep.BadBlocksGrown++
+				}
+			}
+		}
+		for b := 0; b < chip.Blocks(); b++ {
+			if chip.IsBadBlock(b) {
+				continue
+			}
+			pe := chip.PECycles(b)
+			if pe < rep.MinPE {
+				rep.MinPE = pe
+			}
+			if pe > rep.MaxPE {
+				rep.MaxPE = pe
+			}
+		}
+	}
+	if rep.MinPE == 1<<30 {
+		rep.MinPE = 0
+	}
+	return rep
+}
+
+// RefreshPolicy decides when a block's data must be rewritten. Two
+// triggers, either sufficient: the block's retention age passed the
+// patrol ceiling, or its predicted E<->P1 error rate — the §4.1.2
+// health indicator, the first ECC boundary retention loss pushes —
+// cleared the cliff fraction of the ECC correction budget.
+type RefreshPolicy struct {
+	// MaxRetentionMonths is the hard retention-age ceiling; 0 takes the
+	// default.
+	MaxRetentionMonths float64
+	// BerEP1Cliff is the E<->P1 error-rate threshold; 0 takes the
+	// default (the E/P1 share of 60% of the ECC limit BER).
+	BerEP1Cliff float64
+}
+
+// DefaultRefreshPolicy returns the patrol thresholds used by the
+// lifetime figure: refresh anything older than 6 months or predicted
+// past 60% of the ECC budget.
+func DefaultRefreshPolicy() RefreshPolicy {
+	return RefreshPolicy{
+		MaxRetentionMonths: 6,
+		BerEP1Cliff:        vth.BerEP1(0.6 * ecc.LimitBER),
+	}
+}
+
+func (p RefreshPolicy) withDefaults() RefreshPolicy {
+	def := DefaultRefreshPolicy()
+	if p.MaxRetentionMonths <= 0 {
+		p.MaxRetentionMonths = def.MaxRetentionMonths
+	}
+	if p.BerEP1Cliff <= 0 {
+		p.BerEP1Cliff = def.BerEP1Cliff
+	}
+	return p
+}
+
+// NeedsRefresh reports whether a block with the given predicted raw
+// BER (worst layer, current aging) and retention age should be
+// rewritten now.
+func (p RefreshPolicy) NeedsRefresh(predictedBER, retMonths float64) bool {
+	p = p.withDefaults()
+	if retMonths >= p.MaxRetentionMonths {
+		return true
+	}
+	return vth.BerEP1(predictedBER) >= p.BerEP1Cliff
+}
+
+// WearPolicy decides when static wear leveling should move cold data
+// off a low-wear block so the block rejoins the write rotation.
+type WearPolicy struct {
+	// SpreadThreshold is the erase-count spread (max-min over good
+	// blocks of a die) above which leveling kicks in; 0 takes the
+	// default.
+	SpreadThreshold int
+}
+
+// DefaultWearPolicy returns the spread threshold used by the lifetime
+// figure.
+func DefaultWearPolicy() WearPolicy { return WearPolicy{SpreadThreshold: 64} }
+
+// ShouldLevel reports whether the given per-die erase-count extremes
+// justify a static wear-leveling relocation.
+func (p WearPolicy) ShouldLevel(minPE, maxPE int) bool {
+	t := p.SpreadThreshold
+	if t <= 0 {
+		t = DefaultWearPolicy().SpreadThreshold
+	}
+	return maxPE-minPE > t
+}
+
+// EraseSnapshot is a point-in-time copy of every good block's erase
+// count, per die — the input to wear-leveling decisions and the
+// /metrics erase-count quantile families.
+type EraseSnapshot struct {
+	// Dies[d] holds die d's good-block P/E counts in block order.
+	Dies [][]int
+}
+
+// TakeEraseSnapshot reads the erase counts of every non-bad block.
+func TakeEraseSnapshot(arr *nand.Array) EraseSnapshot {
+	s := EraseSnapshot{Dies: make([][]int, arr.Dies())}
+	for d := 0; d < arr.Dies(); d++ {
+		chip := arr.Die(d)
+		counts := make([]int, 0, chip.Blocks())
+		for b := 0; b < chip.Blocks(); b++ {
+			if !chip.IsBadBlock(b) {
+				counts = append(counts, chip.PECycles(b))
+			}
+		}
+		s.Dies[d] = counts
+	}
+	return s
+}
+
+// DieQuantile returns the q-quantile (0..1, nearest-rank) of die d's
+// erase counts, or 0 for an empty die.
+func (s EraseSnapshot) DieQuantile(die int, q float64) int {
+	if die < 0 || die >= len(s.Dies) || len(s.Dies[die]) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), s.Dies[die]...)
+	sort.Ints(sorted)
+	return quantile(sorted, q)
+}
+
+// Quantile returns the q-quantile over every die's erase counts.
+func (s EraseSnapshot) Quantile(q float64) int {
+	var all []int
+	for _, die := range s.Dies {
+		all = append(all, die...)
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	sort.Ints(all)
+	return quantile(all, q)
+}
+
+// Spread returns max-min over every good block of every die.
+func (s EraseSnapshot) Spread() int {
+	min, max, any := 0, 0, false
+	for _, die := range s.Dies {
+		for _, pe := range die {
+			if !any {
+				min, max, any = pe, pe, true
+				continue
+			}
+			if pe < min {
+				min = pe
+			}
+			if pe > max {
+				max = pe
+			}
+		}
+	}
+	return max - min
+}
+
+func quantile(sorted []int, q float64) int {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// WAF is the per-cause write-amplification ledger, in device pages.
+type WAF struct {
+	HostPages    int64 // pages programmed to serve host writes (incl. padding)
+	GCPages      int64 // pages moved by garbage collection and reclaim
+	RefreshPages int64 // pages moved by retention refresh
+	WLPages      int64 // pages moved by static wear leveling
+	PageBytes    int64 // bytes per page, for the byte-denominated gauges
+}
+
+// TotalPages returns all device-page programs.
+func (w WAF) TotalPages() int64 {
+	return w.HostPages + w.GCPages + w.RefreshPages + w.WLPages
+}
+
+// Factor returns the write-amplification factor total/host, or 0 with
+// no host writes yet.
+func (w WAF) Factor() float64 {
+	if w.HostPages == 0 {
+		return 0
+	}
+	return float64(w.TotalPages()) / float64(w.HostPages)
+}
+
+// HostBytes returns the host-caused program volume in bytes.
+func (w WAF) HostBytes() int64 { return w.HostPages * w.PageBytes }
+
+// GCBytes returns the GC-caused program volume in bytes.
+func (w WAF) GCBytes() int64 { return w.GCPages * w.PageBytes }
+
+// RefreshBytes returns the refresh-caused program volume in bytes.
+func (w WAF) RefreshBytes() int64 { return w.RefreshPages * w.PageBytes }
+
+// WLBytes returns the wear-leveling program volume in bytes.
+func (w WAF) WLBytes() int64 { return w.WLPages * w.PageBytes }

@@ -101,6 +101,11 @@ type blockState struct {
 	// (read disturb), so heavily re-read blocks need a reclaim
 	// relocation before their BER drifts into the ECC budget.
 	reads int64
+	// retMonths is the block's data-retention clock in months: how long
+	// the current contents have sat since they were programmed. The
+	// lifetime fast-forward advances it; an erase resets it, which is
+	// exactly why a refresh relocation restores read margins.
+	retMonths float64
 }
 
 // Chip is one simulated 3D NAND die. Not safe for concurrent use; the
@@ -238,6 +243,53 @@ func (c *Chip) PECycles(block int) int { return c.blocks[block].pe }
 // negative value to return to zero retention.
 func (c *Chip) SetFixedRetention(months float64) { c.fixedRetention = months }
 
+// AdvanceRetention advances a block's data-retention clock by dMonths
+// (lifetime fast-forward). Negative deltas are ignored.
+func (c *Chip) AdvanceRetention(block int, dMonths float64) {
+	if dMonths > 0 {
+		c.blocks[block].retMonths += dMonths
+	}
+}
+
+// RetentionMonths returns a block's own retention clock, ignoring any
+// chip-wide fixed override. Refresh decisions use this: the clock
+// resets on erase, so a refreshed block stops qualifying.
+func (c *Chip) RetentionMonths(block int) float64 { return c.blocks[block].retMonths }
+
+// EffectiveRetentionMonths returns the retention age reads of the block
+// actually experience: the fixed chip-wide override when set, else the
+// block's own clock. This is what retry-table age bucketing keys on.
+func (c *Chip) EffectiveRetentionMonths(block int) float64 {
+	return c.aging(block).RetentionMonths
+}
+
+// AddPECycles adds n program/erase cycles of wear to a block without
+// touching its contents (lifetime fast-forward).
+func (c *Chip) AddPECycles(block, n int) {
+	if n > 0 {
+		c.blocks[block].pe += n
+	}
+}
+
+// BlockPredictedBER returns the model BER of the block's worst h-layer
+// at its wear and its own retention clock — the scrubber's patrol
+// estimate of how close the block is to the ECC cliff. It deliberately
+// uses retMonths rather than the chip-wide fixed override (a pinned
+// override never resets on erase, so a scrubber keyed to it would
+// refresh the same blocks forever) and excludes per-word-line program
+// penalties and read disturb: those are handled by reprogram-on-suspect
+// and reclaim respectively.
+func (c *Chip) BlockPredictedBER(block int) float64 {
+	worst := 0.0
+	ag := process.Aging{PE: c.blocks[block].pe, RetentionMonths: c.blocks[block].retMonths}
+	for l := 0; l < c.cfg.Process.Layers; l++ {
+		if b := c.model.BER(block, l, 0, ag); b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
 // SetDisturbProb sets the per-program probability of an environmental
 // disturbance (0 disables, the default).
 func (c *Chip) SetDisturbProb(p float64) { c.disturbProb = p }
@@ -251,11 +303,13 @@ func (c *Chip) SetReadJitterProb(p float64) { c.readJitterProb = p }
 // decode-folded-into-sense arithmetic).
 func (c *Chip) SetDecodeLatency(ns int64) { c.cfg.DecodeLatencyNs = ns }
 
-// aging returns the aging state applied to accesses of a block.
+// aging returns the aging state applied to accesses of a block: the
+// chip-wide fixed retention override when set (the paper's pre-aged
+// evaluation states), else the block's own retention clock.
 func (c *Chip) aging(block int) process.Aging {
 	ret := c.fixedRetention
 	if ret < 0 {
-		ret = 0
+		ret = c.blocks[block].retMonths
 	}
 	return process.Aging{PE: c.blocks[block].pe, RetentionMonths: ret}
 }

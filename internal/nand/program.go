@@ -297,7 +297,8 @@ func (c *Chip) EraseBlock(block int) (EraseResult, error) {
 	}
 	blk.pe++
 	blk.erased = true
-	blk.reads = 0 // erase heals accumulated read disturb
+	blk.reads = 0     // erase heals accumulated read disturb
+	blk.retMonths = 0 // new data: the retention clock restarts
 	for i := range blk.wls {
 		blk.wls[i] = wlState{}
 	}

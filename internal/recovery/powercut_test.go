@@ -205,6 +205,115 @@ func TestMountFullScanVsCheckpoint(t *testing.T) {
 		slowRpt.MountNs, slowRpt.OOBPagesScanned)
 }
 
+// scrubCtrlConfig turns on the retention scrubber with a patrol cheap
+// enough to fire during a short test run.
+func scrubCtrlConfig() ftl.ControllerConfig {
+	cfg := cutCtrlConfig()
+	cfg.Refresh = true
+	cfg.RefreshPatrolReads = 16
+	return cfg
+}
+
+// launchScrub is launch with the scrubber on: after the prefill the
+// media's retention clocks jump a year, so the patrol finds refresh-due
+// blocks and relocates them while host traffic runs.
+func launchScrub(t *testing.T, seed uint64, requests int, deadline sim.Time) (*ftl.Controller, *Manager, *Ledger) {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev := ssd.New(eng, cutSSDConfig(seed))
+	ctrl := ftl.NewController(dev, core.New(dev.Geometry()), scrubCtrlConfig())
+	workload.Prefill(ctrl, int64(ctrl.LogicalPages()/2))
+	arr := dev.Array()
+	for d := 0; d < arr.Dies(); d++ {
+		chip := arr.Die(d)
+		for b := 0; b < chip.Blocks(); b++ {
+			if !chip.IsBadBlock(b) && !chip.IsErased(b) {
+				chip.AdvanceRetention(b, 12)
+			}
+		}
+	}
+	led := NewLedger()
+	mgr := Attach(ctrl, NewSystemArea(), Options{Ledger: led, CkptIntervalNs: 2 * sim.Millisecond})
+	specs := []workload.TenantSpec{{
+		Gen:      workload.NewStream(workload.Mixed, ctrl.LogicalPages(), seed+0x9E37),
+		Requests: requests,
+		Queue:    host.QueueConfig{Tenant: "mixed", Depth: 32},
+	}}
+	if _, err := workload.RunTenants(ctrl, specs, workload.MultiRunConfig{DeadlineNs: deadline}); err != nil {
+		t.Fatalf("RunTenants: %v", err)
+	}
+	return ctrl, mgr, led
+}
+
+// A power cut in the middle of a refresh relocation must recover like
+// any other cut: the scrub's half-moved data is either still valid at
+// the old copy or remapped to the new one, never lost. The probe run
+// locates completed scrub windows; directed cuts land mid-window.
+func TestPowerCutMidScrub(t *testing.T) {
+	const seed = 2718
+	const requests = 4000
+
+	ctrl0, _, led0 := launchScrub(t, seed, requests, 0)
+	if err := Verify(ctrl0, led0); err != nil {
+		t.Fatalf("probe run does not verify: %v", err)
+	}
+	if ctrl0.Stats().Refreshes == 0 {
+		t.Fatal("probe run never refreshed — cuts cannot land mid-scrub")
+	}
+	sw := ctrl0.ScrubWindows()
+	if len(sw) == 0 {
+		t.Fatal("probe run recorded no scrub windows")
+	}
+
+	cuts := 0
+	for _, w := range sw {
+		mid := (w[0] + w[1]) / 2
+		if mid == 0 {
+			continue
+		}
+		ctrl, mgr, led := launchScrub(t, seed, requests, mid)
+		mgr.PowerCut()
+		eng := sim.NewEngine()
+		dev := ssd.NewWithArray(eng, cutSSDConfig(seed), ctrl.Device().Array())
+		ctrl2, _, err := Mount(dev, core.New(dev.Geometry()), scrubCtrlConfig(), mgr.System(), MountOptions{})
+		if err != nil {
+			t.Fatalf("cut mid-scrub @%d: Mount: %v", mid, err)
+		}
+		if err := Verify(ctrl2, led); err != nil {
+			t.Errorf("cut mid-scrub @%d: %v", mid, err)
+		}
+		if cuts == 0 {
+			// Drive the remounted controller hard enough to run GC and
+			// the patrol again: the mount path must rebuild the
+			// relocation-cause and patrol state, not just the mapping.
+			src := rng.New(seed ^ 0xA6ED)
+			n := ctrl2.LogicalPages() / 2
+			ops, outstanding := 3000, 0
+			var issue func()
+			issue = func() {
+				for outstanding < 16 && ops > 0 {
+					ops--
+					outstanding++
+					if err := ctrl2.Write(ftl.LPN(src.Intn(n)), func() { outstanding--; issue() }); err != nil {
+						t.Fatalf("post-mount write: %v", err)
+					}
+				}
+			}
+			issue()
+			eng.RunWhile(func() bool { return outstanding > 0 || !ctrl2.Drained() || ctrl2.GCActiveAny() })
+			if ctrl2.Stats().GCCount == 0 {
+				t.Error("post-mount traffic never ran GC — regression coverage lost")
+			}
+			if err := ctrl2.CheckConsistency(); err != nil {
+				t.Errorf("post-mount traffic on remounted scrubber: %v", err)
+			}
+		}
+		if cuts++; cuts >= 4 {
+			break
+		}
+	}
+}
+
 // A grown bad block must stay retired across a power cycle: the
 // Retired journal record makes the retirement durable, and the media
 // bad-block mark backstops it even on a full scan.

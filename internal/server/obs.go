@@ -8,6 +8,7 @@ package server
 
 import (
 	"io"
+	"strconv"
 	"time"
 
 	"cubeftl"
@@ -245,6 +246,30 @@ func (s *Server) collectFamilies() []telemetry.PromFamily {
 		fams = append(fams, *f)
 	}
 
+	// Lifetime plane: the per-cause write-amplification ledger and the
+	// per-die erase-count distribution that wear leveling narrows.
+	waf := s.dev.WAF()
+	fams = append(fams,
+		one("cube_waf_host_bytes", "counter", "bytes programmed to serve host writes", float64(waf.HostBytes)),
+		one("cube_waf_gc_bytes", "counter", "bytes moved by garbage collection and reclaim", float64(waf.GCBytes)),
+		one("cube_waf_refresh_bytes", "counter", "bytes moved by retention refresh", float64(waf.RefreshBytes)),
+		one("cube_waf_wl_bytes", "counter", "bytes moved by static wear leveling", float64(waf.WLBytes)),
+		one("cube_waf_factor", "gauge", "write-amplification factor, total/host", waf.Factor),
+	)
+	erase := mk("cube_erase_count", "gauge", "per-die erase-count quantiles over good blocks")
+	for die, row := range s.dev.EraseQuantiles(eraseQuantiles) {
+		for qi, v := range row {
+			erase.Samples = append(erase.Samples, telemetry.PromSample{
+				Labels: []telemetry.PromLabel{
+					{K: "die", V: strconv.Itoa(die)},
+					{K: "quantile", V: eraseQuantileNames[qi]},
+				},
+				Value: float64(v),
+			})
+		}
+	}
+	fams = append(fams, *erase)
+
 	// Device registry: per-die health and prog hists, retry-table and
 	// ORT counters, GC/fault gauges — everything the facade registers.
 	if hub := s.dev.Telemetry(); hub != nil {
@@ -252,3 +277,10 @@ func (s *Server) collectFamilies() []telemetry.PromFamily {
 	}
 	return fams
 }
+
+// eraseQuantiles are the exported erase-count quantiles per die; the
+// names are the Prometheus-conventional quantile label values.
+var (
+	eraseQuantiles     = []float64{0, 0.5, 1}
+	eraseQuantileNames = []string{"0", "0.5", "1"}
+)

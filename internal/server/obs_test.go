@@ -61,6 +61,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		`cube_tenant_weight{tenant="lat"} 4`,
 		`cube_tenant_slo_target_ns{tenant="lat"} 2000000`,
 		"cube_slo_enabled 1",
+		"# TYPE cube_waf_host_bytes counter",
+		"cube_waf_gc_bytes",
+		"cube_waf_refresh_bytes",
+		"cube_waf_wl_bytes",
+		"cube_waf_factor",
+		`cube_erase_count{die="0",quantile="0.5"}`,
 		"# TYPE cube_cube_retry_hits gauge",
 		"cube_cube_retry_misses",
 		"cube_ftl_die_0_degraded 0",

@@ -1,0 +1,159 @@
+package cubeftl
+
+import (
+	"testing"
+	"time"
+)
+
+func agedOptions() Options {
+	return Options{
+		FTL:            FTLCube,
+		Channels:       2,
+		DiesPerChannel: 2,
+		BlocksPerChip:  32,
+		Seed:           5,
+		RetryMode:      "ort-pr",
+	}
+}
+
+// Same seed, same age schedule, same workload: the aged device must
+// replay bit-identically — media state, trace hash, and the WAF ledger.
+func TestAgeDeterministic(t *testing.T) {
+	run := func() (AgeReport, RunStats, WAFStats, [][]int) {
+		s, err := New(agedOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Prefill(int64(s.LogicalPages() * 6 / 10))
+		rep := s.AgeMonths(36)
+		st, err := s.RunWorkload("Rocks", 3000, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, st, s.WAF(), s.EraseQuantiles([]float64{0, 0.5, 1})
+	}
+	rep1, st1, waf1, eq1 := run()
+	rep2, st2, waf2, eq2 := run()
+	if rep1 != rep2 {
+		t.Fatalf("age reports differ:\n%+v\n%+v", rep1, rep2)
+	}
+	if st1.TraceHash != st2.TraceHash {
+		t.Fatalf("trace hashes differ: %x vs %x", st1.TraceHash, st2.TraceHash)
+	}
+	if waf1 != waf2 {
+		t.Fatalf("WAF ledgers differ:\n%+v\n%+v", waf1, waf2)
+	}
+	for d := range eq1 {
+		for i := range eq1[d] {
+			if eq1[d][i] != eq2[d][i] {
+				t.Fatalf("erase quantiles differ at die %d: %v vs %v", d, eq1[d], eq2[d])
+			}
+		}
+	}
+	if rep1.PEAdded == 0 || rep1.MaxPE == 0 {
+		t.Fatalf("aging added no wear: %+v", rep1)
+	}
+	if eq1[0][2] == 0 {
+		t.Fatal("max erase quantile still zero after 3y of aging")
+	}
+}
+
+// With refresh enabled, an aging jump queues a scrub of every data
+// block past the retention ceiling, the rewrites land in the WAF ledger
+// under the refresh cause, and afterwards nothing is left due — a
+// second (tiny) age finds a clean device instead of a refresh loop.
+func TestAgeRefreshRewritesOldData(t *testing.T) {
+	opts := agedOptions()
+	opts.Refresh = true
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Prefill(int64(s.LogicalPages() * 6 / 10))
+	rep := s.AgeMonths(12)
+	if rep.ScrubQueued == 0 {
+		t.Fatalf("12mo age queued no refreshes: %+v", rep)
+	}
+	waf := s.WAF()
+	if waf.Refreshes == 0 || waf.RefreshBytes == 0 {
+		t.Fatalf("refresh cause missing from the WAF ledger: %+v", waf)
+	}
+	if waf.HostBytes == 0 || waf.Factor <= 1 {
+		t.Fatalf("implausible ledger: %+v", waf)
+	}
+	rep2 := s.AgeMonths(0.01)
+	if rep2.ScrubQueued != 0 {
+		t.Fatalf("device still has %d blocks due right after a full scrub", rep2.ScrubQueued)
+	}
+}
+
+// Without the lifetime policies enabled, the ledger must attribute
+// everything to host and GC only.
+func TestWAFLedgerCauses(t *testing.T) {
+	s, err := New(agedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Prefill(int64(s.LogicalPages() * 6 / 10))
+	if _, err := s.RunWorkload("Rocks", 3000, 24); err != nil {
+		t.Fatal(err)
+	}
+	waf := s.WAF()
+	if waf.HostBytes == 0 {
+		t.Fatal("no host bytes accounted")
+	}
+	if waf.RefreshBytes != 0 || waf.WLBytes != 0 || waf.Refreshes != 0 || waf.WearLevels != 0 {
+		t.Fatalf("refresh/WL causes charged with the policies off: %+v", waf)
+	}
+	if waf.Factor < 1 {
+		t.Fatalf("WAF factor %v < 1", waf.Factor)
+	}
+}
+
+// An aged device is durable: its wear, retention clocks, and grown bad
+// blocks live in the NAND array, so a power cut right after aging (and
+// mid-life traffic) remounts with full verification.
+func TestAgedPowerCutRemountVerified(t *testing.T) {
+	opts := recoveryOptions()
+	opts.Refresh = true
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Prefill(int64(s.LogicalPages() / 2))
+	rep := s.AgeMonths(36)
+	if rep.PEAdded == 0 {
+		t.Fatalf("aging added no wear: %+v", rep)
+	}
+	spread := s.WearSpread()
+	if _, err := s.RunWorkloadUntil("Mixed", 2000, 32, s.Now()+4*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PowerCut(); err != nil {
+		t.Fatal(err)
+	}
+	mrpt, err := s.Remount(true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mrpt.Verified {
+		t.Fatal("aged remount did not verify")
+	}
+	// The media's lifetime state crossed the remount.
+	if s.EraseQuantiles([]float64{1})[0][0] == 0 {
+		t.Fatal("wear state lost across remount")
+	}
+	if spread > 0 && s.WearSpread() == 0 {
+		t.Fatal("erase-count spread lost across remount")
+	}
+	done := 0
+	for lpn := int64(0); lpn < 16; lpn++ {
+		if err := s.Write(lpn, func() { done++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if done != 16 {
+		t.Fatalf("post-remount writes completed = %d, want 16", done)
+	}
+}
